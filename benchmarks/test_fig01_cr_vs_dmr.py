@@ -1,0 +1,27 @@
+"""Bench: Fig. 1 — C/R vs DMR non-solving (spawning) stages of N-body.
+
+Paper: resizing 48 processes to 12/24/48, checkpoint/restart spawning is
+31.4x / 63.75x / 77x more expensive than the DMR API.  Reproduction
+target: factors of tens that *grow* toward the pure-migration case.
+"""
+
+from conftest import emit
+
+from repro.experiments.fig01_cr_vs_dmr import run_fig01
+
+
+def test_fig01_cr_vs_dmr(benchmark):
+    result = benchmark.pedantic(run_fig01, rounds=1, iterations=1)
+    emit(result.as_table())
+
+    factors = {r.target_procs: r.factor for r in result.rows}
+    # C/R is at least an order of magnitude costlier at every target.
+    assert all(f > 10.0 for f in factors.values())
+    # Same band as the paper's 31-77x labels.
+    assert all(10.0 < f < 150.0 for f in factors.values())
+    # The factor grows with the target size (48-48 migration worst for
+    # C/R relative to DMR, as in the paper's 31.4 < 63.75 < 77).
+    assert factors[12] < factors[24] < factors[48]
+    # DMR stays in runtime-redistribution territory (seconds, not minutes).
+    assert all(r.dmr.total < 10.0 for r in result.rows)
+    assert all(r.cr.total > 30.0 for r in result.rows)

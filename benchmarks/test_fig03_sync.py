@@ -1,0 +1,25 @@
+"""Bench: Fig. 3 — fixed vs flexible FS workloads, synchronous mode.
+
+Paper: flexible wins at every size; the 10-job workload gains the most
+(near-full allocation, Fig. 4) and the benefit decreases as the finite
+workload grows.
+"""
+
+from conftest import emit
+
+from repro.experiments.fig03_sync import run_fig03
+
+
+def test_fig03_fixed_vs_flexible_sync(benchmark):
+    result = benchmark.pedantic(run_fig03, rounds=1, iterations=1)
+    emit(result.as_table())
+
+    gains = {r.num_jobs: r.gain for r in result.rows}
+    # Flexible never loses.
+    assert all(g > 0 for g in gains.values()), gains
+    # The 10-job workload shows the outsized gain of Fig. 4.
+    assert gains[10] > 25.0
+    # Mid-size workloads sit in a clear positive band.
+    assert gains[25] > 10.0
+    # The benefit decreases as the workload grows (Section VIII-B).
+    assert gains[10] > gains[50] > gains[400]

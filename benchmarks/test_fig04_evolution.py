@@ -1,0 +1,28 @@
+"""Bench: Fig. 4 — evolution in time of the 10-job workload.
+
+Paper: the flexible rendition reaches an almost-full allocation of the
+20 nodes, which is where its outsized gain comes from; its throughput
+(completed jobs over time) is always at least the fixed one's.
+"""
+
+from conftest import emit
+
+from repro.experiments.fig04_05_evolution import run_fig04
+
+
+def test_fig04_evolution_10_jobs(benchmark):
+    result = benchmark.pedantic(run_fig04, rounds=1, iterations=1)
+    emit(result.as_text())
+
+    # Near-full allocation for the flexible rendition (paper: almost-full).
+    assert result.flexible_avg_allocation > 0.85 * 20
+    # Far above the fixed rendition's.
+    assert result.flexible_avg_allocation > 1.5 * result.fixed_avg_allocation
+
+    # Flexible completes the workload sooner.
+    flex, fixed = result.pair.flexible, result.pair.fixed
+    assert flex.makespan < fixed.makespan
+
+    # Throughput comparison at the flexible completion point.
+    t = flex.makespan
+    assert flex.completed_series().at(t) >= fixed.completed_series().at(t)

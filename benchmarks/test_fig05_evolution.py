@@ -1,0 +1,28 @@
+"""Bench: Fig. 5 — evolution in time of the 25-job workload.
+
+Paper: the 25-job workload gains less than the 10-job one — once the
+last job has expanded onto the released nodes there is nothing left to
+reallocate, so the final phase matches the fixed behaviour.
+"""
+
+from conftest import emit
+
+from repro.experiments.fig04_05_evolution import run_fig04, run_fig05
+
+
+def test_fig05_evolution_25_jobs(benchmark):
+    result = benchmark.pedantic(run_fig05, rounds=1, iterations=1)
+    emit(result.as_text())
+
+    pair = result.pair
+    # Flexible still wins...
+    assert pair.makespan_gain > 0
+    # ...but by less than the 10-job workload (the Fig. 4/5 contrast).
+    ten = run_fig04()
+    assert pair.makespan_gain < ten.pair.makespan_gain
+
+    # Expansions did happen (the last-job expansion of the narrative).
+    from repro.metrics import EventKind
+
+    expands = pair.flexible.trace.of_kind(EventKind.RESIZE_EXPAND)
+    assert len(expands) >= 1

@@ -1,0 +1,27 @@
+"""Bench: Fig. 6 — asynchronous scheduling of the 10-job workload.
+
+Paper: asynchronous decisions are applied one step late; the applied
+expansion targets reflect outdated system state (J3 expanding to 2 when
+16 nodes had become free), wasting allocation windows relative to the
+synchronous run.
+"""
+
+from conftest import emit
+
+from repro.experiments.fig04_05_evolution import run_evolution
+from repro.experiments.fig06_07_async import run_fig06
+from repro.metrics import EventKind
+
+
+def test_fig06_async_evolution_10_jobs(benchmark):
+    result = benchmark.pedantic(run_fig06, rounds=1, iterations=1)
+    emit(result.as_text())
+
+    sync = run_evolution(10, async_mode=False)
+    # Stale decisions cost allocation: async does not beat sync.
+    assert result.pair.flexible.makespan >= sync.pair.flexible.makespan
+    # The async machinery really resized jobs.
+    resizes = result.pair.flexible.trace.of_kind(
+        EventKind.RESIZE_EXPAND, EventKind.RESIZE_SHRINK
+    )
+    assert len(resizes) >= 1

@@ -1,0 +1,26 @@
+"""Bench: Fig. 7 — the fixed-vs-flexible sweep under asynchronous mode.
+
+Paper: async scheduling underperforms sync (their conclusion: "there is
+no need of using an asynchronous scheduling"); small workloads can even
+lose to fixed, larger ones retain a modest gain.
+"""
+
+from conftest import emit
+
+from repro.experiments.fig03_sync import run_fig03
+from repro.experiments.fig06_07_async import run_fig07
+
+
+def test_fig07_fixed_vs_flexible_async(benchmark):
+    result = benchmark.pedantic(run_fig07, rounds=1, iterations=1)
+    emit(result.as_table())
+
+    sync = run_fig03()
+    async_gains = {r.num_jobs: r.gain for r in result.rows}
+    sync_gains = {r.num_jobs: r.gain for r in sync.rows}
+
+    # The paper's conclusion: async never meaningfully beats sync.
+    for n in async_gains:
+        assert async_gains[n] <= sync_gains[n] + 1.0, (n, async_gains, sync_gains)
+    # The large workloads retain a (modest) positive gain.
+    assert async_gains[400] > -5.0

@@ -1,0 +1,24 @@
+"""Bench: Fig. 8 — execution time vs rate of flexible jobs (100 jobs).
+
+Paper: execution time decreases as the flexible ratio grows — ~10% gain
+at a 50% rate, ~12% at 100%.  Reproduction target: monotone-ish decrease
+with a clearly positive endpoint.
+"""
+
+from conftest import emit
+
+from repro.experiments.fig08_heterogeneous import run_fig08
+
+
+def test_fig08_flexible_ratio_sweep(benchmark):
+    result = benchmark.pedantic(run_fig08, rounds=1, iterations=1)
+    emit(result.as_table())
+
+    # The all-flexible workload is the fastest.
+    makespans = {r.flexible_rate: r.makespan for r in result.rows}
+    assert makespans[1.0] == min(makespans.values())
+    # Gains grow along the sweep's ends (0% -> 50% -> 100%).
+    assert result.gain_at(1.0) > result.gain_at(0.5) >= 0.0
+    assert result.gain_at(1.0) > 2.0
+    # Every partially-flexible configuration at least breaks even.
+    assert all(result.gain_at(r.flexible_rate) > -2.0 for r in result.rows)

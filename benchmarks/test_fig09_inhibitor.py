@@ -1,0 +1,35 @@
+"""Bench: Fig. 9 — inhibition periods on micro-step workloads.
+
+Paper: with ~2 s steps, a DMR call at every iteration spends real time on
+runtime<->RMS communication; the uninhibited flexible run can lose to the
+fixed baseline, while a ~5 s inhibition period performs best.
+"""
+
+from conftest import emit
+
+from repro.experiments.fig09_inhibitor import run_fig09
+
+
+def test_fig09_inhibitor_periods(benchmark):
+    result = benchmark.pedantic(run_fig09, rounds=1, iterations=1)
+    emit(result.as_table())
+
+    # At the largest workload, the uninhibited flexible run is the worst
+    # flexible configuration (the paper observes negligible-or-negative).
+    gains_100 = {
+        (c.period if c.period is not None else "off"): c.gain
+        for c in result.by_period(None) + result.cells
+        if c.num_jobs == 100
+    }
+    uninhibited = result.cell(100, None).gain
+    best_inhibited = max(
+        result.cell(100, p).gain for p in (2.0, 5.0, 10.0, 20.0)
+    )
+    assert best_inhibited > uninhibited
+
+    # A short inhibition period (2-5 s) beats the uninhibited run on the
+    # bigger workloads.
+    for n in (50, 100):
+        assert max(
+            result.cell(n, 2.0).gain, result.cell(n, 5.0).gain
+        ) >= result.cell(n, None).gain

@@ -1,0 +1,22 @@
+"""Bench: Fig. 10 — real-application workload execution times.
+
+Paper: flexible cuts the total execution time of the 50/100/200/400-job
+CG+Jacobi+N-body workloads by 46.5% / 49.0% / 41.4% / 42.0%.
+Reproduction target: gains above 40% at every size.
+"""
+
+from conftest import emit
+
+
+def test_fig10_realapp_makespans(benchmark, realapps_result):
+    result = benchmark.pedantic(lambda: realapps_result, rounds=1, iterations=1)
+    emit(result.fig10_table())
+
+    for row in result.rows:
+        # The paper's headline: > 40% shorter workload execution time.
+        assert row.makespan_gain > 40.0, (row.num_jobs, row.makespan_gain)
+        # And in a plausible band (not a degenerate baseline).
+        assert row.makespan_gain < 75.0
+    # Fixed execution time grows with the workload size.
+    makespans = [r.pair.fixed.makespan for r in result.rows]
+    assert makespans == sorted(makespans)

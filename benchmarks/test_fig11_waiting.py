@@ -1,0 +1,20 @@
+"""Bench: Fig. 11 — average job waiting times of the Section IX study.
+
+Paper: flexible reduces the average waiting time by 66.9% / 69.3% /
+60.7% / 56.4% for 50/100/200/400 jobs.  Reproduction target: >50%
+reductions at every size, the dominant contribution to completion time.
+"""
+
+from conftest import emit
+
+
+def test_fig11_realapp_waiting_times(benchmark, realapps_result):
+    result = benchmark.pedantic(lambda: realapps_result, rounds=1, iterations=1)
+    emit(result.fig11_table())
+
+    for row in result.rows:
+        assert row.wait_gain > 50.0, (row.num_jobs, row.wait_gain)
+    # Waiting dominates fixed completion time (the paper's motivation).
+    for row in result.rows:
+        s = row.pair.fixed.summary
+        assert s.avg_wait_time > s.avg_execution_time

@@ -1,0 +1,34 @@
+"""Bench: Fig. 12 — evolution in time of the 50-job real-app workload.
+
+Paper: the flexible rendition allocates fewer nodes (jobs scaled down to
+their sweet spots) while running more jobs concurrently, and its
+throughput overtakes the fixed one after the early phase.
+"""
+
+from conftest import emit
+
+
+def test_fig12_realapp_evolution(benchmark, realapps_result):
+    result = benchmark.pedantic(lambda: realapps_result, rounds=1, iterations=1)
+    emit(result.fig12_text())
+
+    row = result.row(50)
+    fixed, flex = row.pair.fixed, row.pair.flexible
+
+    # Fewer allocated nodes on average...
+    assert (
+        flex.allocation_series().average(0, flex.makespan)
+        < fixed.allocation_series().average(0, fixed.makespan)
+    )
+    # ...with more jobs running concurrently.
+    assert (
+        flex.running_series().average(0, flex.makespan)
+        > fixed.running_series().average(0, fixed.makespan)
+    )
+    # Jobs were scaled down as soon as possible: shrink events early on.
+    from repro.metrics import EventKind
+
+    shrinks = flex.trace.of_kind(EventKind.RESIZE_SHRINK)
+    assert len(shrinks) >= 10
+    # Throughput overtakes: flexible completes all 50 jobs first.
+    assert flex.makespan < fixed.makespan

@@ -1,0 +1,37 @@
+"""Bench: Section IX-A — individual application scalability.
+
+The pre-study the paper uses to pick each application's "sweet
+configuration spot": the derived sweet spots must equal the Table I
+preferred values (8 for CG/Jacobi, 1 for N-body), with CG/Jacobi
+classified "high scalability" (peak at 32) and N-body "constant
+performance" (peak at 16, < 10% total gain).
+"""
+
+from conftest import emit
+
+from repro.experiments.scalability import run_scalability
+
+
+def test_scalability_prestudy(benchmark):
+    result = benchmark.pedantic(run_scalability, rounds=1, iterations=1)
+    emit(result.as_table())
+
+    cg = result.row("cg")
+    jac = result.row("jacobi")
+    nb = result.row("nbody")
+
+    # "High scalability": best speed-up at 32 processes...
+    assert cg.peak_procs == 32
+    assert jac.peak_procs == 32
+    # ...but < 10% marginal gain from 8 on -> sweet spot 8.
+    assert cg.sweet_spot == 8
+    assert jac.sweet_spot == 8
+
+    # "Constant performance": peak at 16, < 10% total gain -> spot 1.
+    assert nb.peak_procs == 16
+    assert nb.speedups[16] < 1.10
+    assert nb.sweet_spot == 1
+
+    # The derived sweet spots are exactly the Table I preferred values.
+    for row in result.rows:
+        assert row.sweet_spot == row.preferred, row.app_name

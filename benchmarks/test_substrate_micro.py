@@ -1,0 +1,93 @@
+"""Micro-benchmarks of the substrates themselves (timed for real).
+
+These measure the reproduction's own machinery — DES event throughput,
+MPI-substrate collective rates, malleable-kernel iteration cost — so
+regressions in the simulator do not silently inflate "virtual" results'
+wall-clock cost.
+"""
+
+import numpy as np
+
+from repro.apps.kernels import make_spd_system, run_cg
+from repro.mpi import run_world
+from repro.sim import Environment
+
+
+def test_des_event_throughput(benchmark):
+    """Schedule-and-drain 20k timeout events."""
+
+    def run():
+        env = Environment()
+        for i in range(20_000):
+            env.timeout(float(i % 97))
+        env.run()
+        return env.now
+
+    result = benchmark(run)
+    assert result == 96.0
+
+
+def test_des_process_switching(benchmark):
+    """Two processes ping-pong through 2k events."""
+
+    def run():
+        env = Environment()
+        hits = []
+
+        def proc(offset):
+            for i in range(1000):
+                yield env.timeout(1.0)
+                hits.append(offset + i)
+
+        env.process(proc(0))
+        env.process(proc(10_000))
+        env.run()
+        return len(hits)
+
+    assert benchmark(run) == 2000
+
+
+def test_mpi_allreduce_rate(benchmark):
+    """1k allreduces across 8 in-process ranks."""
+
+    def main(ctx):
+        total = 0.0
+        for _ in range(1000):
+            total = yield ctx.allreduce(1.0, op="sum")
+        return total
+
+    def run():
+        return run_world(8, main)
+
+    results = benchmark(run)
+    assert results == [8.0] * 8
+
+
+def test_mpi_p2p_throughput(benchmark):
+    """Stream 2k numpy messages rank0 -> rank1."""
+    payload = np.arange(256.0)
+
+    def main(ctx):
+        if ctx.rank == 0:
+            for _ in range(2000):
+                yield ctx.send(1, payload)
+            return None
+        total = 0.0
+        for _ in range(2000):
+            msg = yield ctx.recv(source=0)
+            total += msg[0]
+        return total
+
+    results = benchmark(lambda: run_world(2, main))
+    assert results[1] == 0.0
+
+
+def test_malleable_cg_end_to_end(benchmark):
+    """Full malleable CG (expand mid-run) on a 64x64 system."""
+    a, b = make_spd_system(64, seed=11)
+
+    def run():
+        return run_cg(a, b, 10, nprocs=2, schedule={5: 4})
+
+    x = benchmark(run)
+    assert np.all(np.isfinite(x))

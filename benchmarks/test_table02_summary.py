@@ -1,0 +1,32 @@
+"""Bench: Table II — summary of measures for the Section IX workloads.
+
+Paper (50..400 jobs):
+
+* utilization rate: fixed ~97-99%, flexible ~69-74% (about 30% fewer
+  allocated node-hours);
+* avg waiting time: flexible cuts it by ~56-69%;
+* avg execution time: flexible jobs run *longer* individually (they are
+  shrunk to their sweet spots);
+* avg completion time (wait+exec): flexible wins by a wide margin.
+"""
+
+from conftest import emit
+
+
+def test_table02_summary_measures(benchmark, realapps_result):
+    result = benchmark.pedantic(lambda: realapps_result, rounds=1, iterations=1)
+    emit(result.table2())
+
+    for row in result.rows:
+        fixed, flex = row.pair.fixed.summary, row.pair.flexible.summary
+        # Fixed saturates the machine's allocation.
+        assert fixed.utilization_rate > 0.90, row.num_jobs
+        # Flexible allocates ~30% less.
+        assert flex.utilization_rate < 0.80, row.num_jobs
+        assert flex.utilization_rate > 0.50, row.num_jobs
+        # Individual executions get longer under shrinking...
+        assert flex.avg_execution_time > fixed.avg_execution_time
+        # ...but completion time (what users see) improves a lot.
+        assert flex.avg_completion_time < 0.6 * fixed.avg_completion_time
+        # Resizes actually happened.
+        assert flex.resize_count >= row.num_jobs * 0.5

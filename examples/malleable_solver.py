@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""A real malleable solver: distributed CG resized mid-run.
+
+Runs the paper's Listing 3 pattern with actual data on the in-process MPI
+substrate: a conjugate-gradient solve starts on 2 ranks, expands to 8 at
+iteration 10 (spawn + block partitioning + offload), shrinks back to 4 at
+iteration 20 (senders -> group receivers -> offload), and still produces
+exactly the same solution as a never-resized run.
+
+Run:  python examples/malleable_solver.py
+"""
+
+import numpy as np
+
+from repro.apps.kernels import cg_reference, make_spd_system, run_cg
+
+N = 64
+ITERATIONS = 30
+SCHEDULE = {10: 8, 20: 4}  # iteration -> new process count
+
+
+def main() -> None:
+    a, b = make_spd_system(N, seed=42)
+
+    print(f"solving a {N}x{N} SPD system with {ITERATIONS} CG iterations")
+    print(f"resize schedule: start at 2 ranks, then {SCHEDULE}")
+
+    resized = run_cg(a, b, ITERATIONS, nprocs=2, schedule=SCHEDULE)
+    never_resized = run_cg(a, b, ITERATIONS, nprocs=2)
+    reference = cg_reference(a, b, ITERATIONS)
+
+    drift_vs_static = float(np.abs(resized - never_resized).max())
+    drift_vs_reference = float(np.abs(resized - reference).max())
+    residual = float(np.linalg.norm(a @ resized - b) / np.linalg.norm(b))
+
+    print(f"max |resized - never-resized| : {drift_vs_static:.3e}")
+    print(f"max |resized - sequential|    : {drift_vs_reference:.3e}")
+    print(f"relative residual ||Ax-b||/||b|| : {residual:.3e}")
+
+    assert drift_vs_static < 1e-8, "malleability changed the answer!"
+    print("\nOK: expanding and shrinking mid-solve preserved the solution.")
+
+
+if __name__ == "__main__":
+    main()

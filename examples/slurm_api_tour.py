@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Tour of the Slurm resize protocol, one API call at a time.
+
+Walks through Section III of the paper literally: expanding job A by
+submitting a dependent resizer job B, updating B to zero nodes, cancelling
+it, and updating A with the detached node set — then shrinking A back with
+a single update. Ends with the sacct-style accounting view.
+
+Run:  python examples/slurm_api_tour.py
+"""
+
+from repro.cluster import Machine
+from repro.core import ResizeRequest
+from repro.sim import Environment
+from repro.slurm import Accounting, Job, JobClass, SlurmAPI, SlurmController
+
+
+def main() -> None:
+    env = Environment()
+    machine = Machine(16)
+    controller = SlurmController(env, machine)
+    api = SlurmAPI(controller)
+
+    job_a = api.submit(
+        Job(
+            name="job-A",
+            num_nodes=4,
+            time_limit=1000.0,
+            job_class=JobClass.MALLEABLE,
+            resize_request=ResizeRequest(min_procs=1, max_procs=16),
+        )
+    )
+    env.run(until=0.1)
+    print(f"job A running on {api.job_nodelist(job_a)}")
+
+    print("\n-- expanding A by 4 nodes (Section III, steps 1-4) --")
+    job_b = api.submit_dependent(job_a, extra_nodes=4)   # step 1
+    env.run(until=0.2)
+    print(f"1. resizer B submitted and allocated: {api.job_nodelist(job_b)}")
+
+    detached = api.update_job_to_zero_nodes(job_b)       # step 2
+    print(f"2. B updated to 0 nodes; detached node set: {detached}")
+
+    api.cancel(job_b)                                    # step 3
+    print(f"3. B cancelled (state: {job_b.state.value})")
+
+    api.update_job_nodes(job_a, 8, attach=detached)      # step 4
+    print(f"4. A updated to {job_a.num_nodes} nodes: {api.job_nodelist(job_a)}")
+
+    print("\n-- shrinking A back to 2 nodes (single update) --")
+    api.update_job_nodes(job_a, 2)
+    print(f"A now on {api.job_nodelist(job_a)}; resize history: "
+          f"{[(round(t, 1), o, n) for t, o, n in job_a.resizes]}")
+
+    print("\n-- asking the reconfiguration plug-in (Algorithm 1) --")
+    decision = api.check_status(job_a, job_a.resize_request)
+    print(f"empty queue, 14 free nodes -> {decision.action.value} "
+          f"to {decision.target_procs} ({decision.reason.value})")
+
+    controller.finish_job(job_a)
+    env.run()
+    print("\n" + Accounting(controller.finished, include_resizers=True).sacct_table())
+
+
+if __name__ == "__main__":
+    main()

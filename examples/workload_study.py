@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Workload study: fixed vs flexible, the paper's Section IX in miniature.
+
+Generates a 50-job workload mixing CG, Jacobi and N-body (one third
+each), runs it twice on the 65-node production cluster — once rigid, once
+malleable — and prints the paper's headline comparisons: execution time
+(Fig. 10), waiting time (Fig. 11), the Table II measures and an ASCII
+rendition of the Fig. 12 evolution charts.
+
+Run:  python examples/workload_study.py [num_jobs]
+"""
+
+import sys
+
+from repro.cluster import marenostrum_production
+from repro.experiments.common import run_paired
+from repro.metrics import format_evolution, format_table, gain_percent
+from repro.runtime import RuntimeConfig
+from repro.workload import realapp_workload
+
+
+def main(num_jobs: int = 50) -> None:
+    spec = realapp_workload(num_jobs, seed=2017)
+    print(f"workload: {spec.name} ({num_jobs} jobs, CG/Jacobi/N-body mix)")
+
+    pair = run_paired(spec, marenostrum_production(), runtime_config=RuntimeConfig())
+    fixed, flex = pair.fixed.summary, pair.flexible.summary
+
+    print(
+        format_table(
+            ["measure", "fixed", "flexible", "gain (%)"],
+            [
+                ["workload execution time (s)", fixed.makespan, flex.makespan,
+                 gain_percent(fixed.makespan, flex.makespan)],
+                ["avg job waiting time (s)", fixed.avg_wait_time,
+                 flex.avg_wait_time,
+                 gain_percent(fixed.avg_wait_time, flex.avg_wait_time)],
+                ["avg job execution time (s)", fixed.avg_execution_time,
+                 flex.avg_execution_time,
+                 gain_percent(fixed.avg_execution_time, flex.avg_execution_time)],
+                ["avg job completion time (s)", fixed.avg_completion_time,
+                 flex.avg_completion_time,
+                 gain_percent(fixed.avg_completion_time, flex.avg_completion_time)],
+                ["resource utilization (%)", 100 * fixed.utilization_rate,
+                 100 * flex.utilization_rate, "-"],
+                ["reconfigurations", fixed.resize_count, flex.resize_count, "-"],
+            ],
+            title="Fixed vs flexible (Table II measures)",
+        )
+    )
+
+    for result in (pair.fixed, pair.flexible):
+        label = "flexible" if result.flexible else "fixed"
+        print(
+            format_evolution(
+                f"evolution ({label})",
+                [
+                    ("allocated nodes", result.allocation_series()),
+                    ("running jobs", result.running_series()),
+                    ("completed jobs", result.completed_series()),
+                ],
+                0.0,
+                result.makespan,
+            )
+        )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 50)

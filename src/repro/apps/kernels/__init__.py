@@ -1,0 +1,49 @@
+"""Real NumPy kernels of the paper's applications on the MPI substrate.
+
+These validate, with actual data, that the malleability protocol
+(spawn + Listing 3 redistribution + generation hand-over) preserves
+application results across arbitrary expand/shrink schedules.
+"""
+
+from repro.apps.kernels.cg_kernel import cg_reference, cg_spec, make_spd_system, run_cg
+from repro.apps.kernels.driver import (
+    BlockState,
+    MalleableSpec,
+    malleable_main,
+    merge_states,
+    partition_state,
+    run_malleable,
+)
+from repro.apps.kernels.jacobi_kernel import (
+    jacobi_reference,
+    jacobi_spec,
+    make_dd_system,
+    run_jacobi,
+)
+from repro.apps.kernels.nbody_kernel import (
+    make_particles,
+    nbody_reference,
+    nbody_spec,
+    run_nbody,
+)
+
+__all__ = [
+    "BlockState",
+    "MalleableSpec",
+    "cg_reference",
+    "cg_spec",
+    "jacobi_reference",
+    "jacobi_spec",
+    "make_dd_system",
+    "make_particles",
+    "make_spd_system",
+    "malleable_main",
+    "merge_states",
+    "nbody_reference",
+    "nbody_spec",
+    "partition_state",
+    "run_cg",
+    "run_jacobi",
+    "run_malleable",
+    "run_nbody",
+]

@@ -1,0 +1,177 @@
+"""Generic malleable-application driver (Listing 3 with real data).
+
+The paper's programming model resizes an iterative application by
+spawning the new process set and offloading tasks carrying the
+block-distributed data onto it:
+
+* **expand**: every old rank partitions its block into ``factor`` subsets
+  and offloads subset ``i`` to new rank ``old_rank * factor + i``;
+* **shrink**: old ranks are grouped; *senders* forward their blocks to the
+  group's *receiver* (its last member), which offloads the merged block to
+  new rank ``receiver // factor``;
+* the old generation then terminates (the ``taskwait`` semantics), and the
+  new generation resumes at the interrupted iteration.
+
+This driver implements that protocol over the in-process MPI substrate
+for any application expressed as a :class:`MalleableSpec`, with all state
+arrays block-distributed along axis 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.errors import RedistributionError
+from repro.mpi.executor import RankContext
+from repro.runtime.offload import OffloadRegion, receive_offload
+
+#: Local state: named arrays, all block-distributed along axis 0.
+BlockState = Dict[str, np.ndarray]
+
+#: iteration -> new total process count (or a callable (t, size) -> target).
+Schedule = Union[Mapping[int, int], Callable[[int, int], Optional[int]]]
+
+#: Message tag of the shrink sender->receiver forwarding stage.
+TAG_SHRINK_FORWARD = 101
+
+
+@dataclass
+class MalleableSpec:
+    """Everything the driver needs to run one malleable application."""
+
+    iterations: int
+    #: Build the local state of ``rank`` out of ``size`` (first generation).
+    init: Callable[[int, int], BlockState]
+    #: Generator: (ctx, state, t) -> new state. May yield MPI ops.
+    step: Callable[[RankContext, BlockState, int], Any]
+    #: Generator: (ctx, state) -> final result (typically gather to rank 0).
+    collect: Callable[[RankContext, BlockState], Any]
+    #: Resize schedule; checked at each iteration boundary.
+    schedule: Schedule = None  # type: ignore[assignment]
+
+    def target_at(self, t: int, size: int) -> Optional[int]:
+        if self.schedule is None:
+            return None
+        if callable(self.schedule):
+            return self.schedule(t, size)
+        return self.schedule.get(t)
+
+
+def partition_state(state: BlockState, factor: int) -> list[BlockState]:
+    """Split every array into ``factor`` equal parts along axis 0."""
+    parts: list[BlockState] = [dict() for _ in range(factor)]
+    for name, array in state.items():
+        if array.shape[0] % factor:
+            raise RedistributionError(
+                f"array {name!r} of length {array.shape[0]} not divisible "
+                f"by factor {factor}"
+            )
+        for i, chunk in enumerate(np.split(array, factor, axis=0)):
+            parts[i][name] = chunk
+    return parts
+
+
+def merge_states(parts: list[BlockState]) -> BlockState:
+    """Concatenate per-part arrays along axis 0 (inverse of partition)."""
+    if not parts:
+        raise RedistributionError("nothing to merge")
+    keys = parts[0].keys()
+    for p in parts[1:]:
+        if p.keys() != keys:
+            raise RedistributionError(f"mismatched state keys: {keys} vs {p.keys()}")
+    return {k: np.concatenate([p[k] for p in parts], axis=0) for k in keys}
+
+
+def malleable_main(ctx: RankContext, spec: MalleableSpec):
+    """Rank function: runs the application, resizing per the schedule."""
+    if ctx.parent is None:
+        state = spec.init(ctx.rank, ctx.size)
+        t = 0
+    else:
+        # Offloaded task: receive the data dependence and resume point.
+        state, t = yield from receive_offload(ctx)
+
+    while t < spec.iterations:
+        target = spec.target_at(t, ctx.size)
+        if target is not None and target != ctx.size:
+            yield from _resize(ctx, spec, state, t, target)
+            return None  # old generation terminates (taskwait semantics)
+        state = yield from spec.step(ctx, state, t)
+        t += 1
+
+    return (yield from spec.collect(ctx, state))
+
+
+def _resize(
+    ctx: RankContext, spec: MalleableSpec, state: BlockState, t: int, target: int
+):
+    size, rank = ctx.size, ctx.rank
+    if target < 1:
+        raise RedistributionError(f"cannot resize to {target} processes")
+
+    if target > size:
+        if target % size:
+            raise RedistributionError(
+                f"homogeneous expand needs a multiple: {size} -> {target}"
+            )
+        factor = target // size
+        # dmr_check_status spawns the new set and returns the handler...
+        handler = yield ctx.spawn(target, malleable_main, spec)
+        # ...then the application partitions and offloads (Listing 3):
+        #   #pragma omp task inout(subdata) onto(handler, dest)
+        region = OffloadRegion(ctx, handler)
+        for i, part in enumerate(partition_state(state, factor)):
+            dest = rank * factor + i
+            yield from region.task(dest, part, resume_at=t)
+        yield from region.taskwait()
+        return
+
+    if size % target:
+        raise RedistributionError(
+            f"homogeneous shrink needs a divisor: {size} -> {target}"
+        )
+    factor = size // target
+    is_sender = (rank % factor) < (factor - 1)
+    if is_sender:
+        # Forward the block to the group's receiver (MPI_Isend in
+        # Listing 3; sends are eager so no wait is needed afterwards).
+        dst = factor * (rank // factor + 1) - 1
+        yield ctx.isend(dst, state, tag=TAG_SHRINK_FORWARD)
+        merged: Optional[BlockState] = None
+    else:
+        # Listing 3's receiver: post the MPI_Irecv's, then MPI_Waitall.
+        requests = []
+        for src in range(rank - factor + 1, rank):
+            requests.append((yield ctx.irecv(source=src, tag=TAG_SHRINK_FORWARD)))
+        gathered = yield ctx.waitall(requests)
+        gathered.append(state)  # own block is the last of the group
+        merged = merge_states(gathered)
+
+    handler = yield ctx.spawn(target, malleable_main, spec)
+    if merged is not None:
+        region = OffloadRegion(ctx, handler)
+        yield from region.task(rank // factor, merged, resume_at=t)
+        yield from region.taskwait()
+
+
+def run_malleable(nprocs: int, spec: MalleableSpec, max_ops: int = 10_000_000):
+    """Run a malleable application; returns rank-0's collected result.
+
+    Resizes replace the process set, so the result is returned by the
+    *final* generation's rank 0 — we scan all processes for the one
+    non-None collected result.
+    """
+    from repro.mpi.executor import MPIExecutor
+
+    executor = MPIExecutor(max_ops=max_ops)
+    executor.create_world(nprocs, malleable_main, args=(spec,))
+    results = executor.run()
+    collected = [r for r in results.values() if r is not None]
+    if len(collected) > 1:
+        raise RedistributionError(
+            f"expected a single collected result, got {len(collected)}"
+        )
+    return collected[0] if collected else None

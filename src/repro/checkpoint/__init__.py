@@ -1,0 +1,17 @@
+"""Checkpoint/restart reconfiguration baseline (the Fig. 1 comparator)."""
+
+from repro.checkpoint.cr import (
+    CheckpointRestart,
+    CRConfig,
+    DMRReconfiguration,
+    ReconfigurationCost,
+    spawning_factor,
+)
+
+__all__ = [
+    "CRConfig",
+    "CheckpointRestart",
+    "DMRReconfiguration",
+    "ReconfigurationCost",
+    "spawning_factor",
+]

@@ -1,0 +1,157 @@
+"""The checkpoint/restart (C/R) reconfiguration baseline (Fig. 1).
+
+The paper motivates the DMR API by comparing it against reconfiguring a
+job through checkpointing: save the application state to the shared
+filesystem, terminate, resubmit at the new size, reload the state.  The
+"spawning" phase of C/R is 30-80x more expensive than DMR's runtime data
+redistribution because of the disk round-trip and the full job relaunch.
+
+Both cost models below share the cluster's performance models, so the
+comparison isolates exactly the mechanism difference:
+
+* :class:`CheckpointRestart` — write(all ranks) + cancel/requeue +
+  job relaunch + read(new ranks);
+* :class:`DMRReconfiguration` — resize protocol RPC + ``MPI_Comm_spawn``
+  + network redistribution (Listing 3 plans).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.cluster.configs import ClusterConfig
+from repro.errors import CheckpointError
+from repro.runtime.redistribution import (
+    plan_block_remap,
+    plan_expand,
+    plan_migrate,
+    plan_shrink,
+)
+
+
+@dataclass(frozen=True)
+class CRConfig:
+    """Checkpoint/restart mechanism parameters."""
+
+    #: Cancel + resubmit + scheduler dispatch of the restarted job.  Slurm
+    #: requeue and re-dispatch is tens of seconds even on an idle system.
+    requeue_latency: float = 25.0
+    #: Full-job relaunch cost per process (srun/prolog/daemon setup is far
+    #: heavier than an in-job MPI_Comm_spawn).
+    relaunch_per_process: float = 0.5
+    #: Fixed relaunch overhead.
+    relaunch_base: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.requeue_latency < 0 or self.relaunch_base < 0:
+            raise CheckpointError("latencies must be >= 0")
+        if self.relaunch_per_process < 0:
+            raise CheckpointError("relaunch_per_process must be >= 0")
+
+
+@dataclass(frozen=True)
+class ReconfigurationCost:
+    """Per-phase breakdown of one reconfiguration."""
+
+    mechanism: str
+    old_procs: int
+    new_procs: int
+    phases: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.phases.values())
+
+    def __getitem__(self, phase: str) -> float:
+        return self.phases[phase]
+
+
+def _check(state_bytes: float, old: int, new: int) -> None:
+    if old < 1 or new < 1:
+        raise CheckpointError(f"process counts must be >= 1: {old} -> {new}")
+    if state_bytes < 0:
+        raise CheckpointError(f"negative state size {state_bytes}")
+
+
+class CheckpointRestart:
+    """Cost model of checkpoint-reconfigure-restart."""
+
+    def __init__(self, cluster: ClusterConfig, config: CRConfig | None = None) -> None:
+        self.cluster = cluster
+        self.config = config or CRConfig()
+
+    def reconfigure(self, state_bytes: float, old: int, new: int) -> ReconfigurationCost:
+        """Cost of resizing ``old`` -> ``new`` processes via C/R."""
+        _check(state_bytes, old, new)
+        cfg, fs = self.config, self.cluster.storage
+        phases = {
+            "checkpoint_write": fs.write_time(state_bytes, nclients=old),
+            "requeue": cfg.requeue_latency,
+            "relaunch": cfg.relaunch_base + cfg.relaunch_per_process * new,
+            "checkpoint_read": fs.read_time(state_bytes, nclients=new),
+        }
+        return ReconfigurationCost("checkpoint-restart", old, new, phases)
+
+
+class DMRReconfiguration:
+    """Cost model of the DMR API's runtime reconfiguration.
+
+    Mirrors exactly what :class:`repro.runtime.nanos.NanosRuntime` charges
+    during a resize, packaged for side-by-side comparison.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterConfig,
+        rpc_latency: float = 0.1,
+        ack_base: float = 0.05,
+        ack_per_node: float = 0.01,
+    ) -> None:
+        if rpc_latency < 0:
+            raise CheckpointError("rpc_latency must be >= 0")
+        if ack_base < 0 or ack_per_node < 0:
+            raise CheckpointError("ACK costs must be >= 0")
+        self.cluster = cluster
+        self.rpc_latency = rpc_latency
+        self.ack_base = ack_base
+        self.ack_per_node = ack_per_node
+
+    def reconfigure(self, state_bytes: float, old: int, new: int) -> ReconfigurationCost:
+        """Cost of resizing ``old`` -> ``new`` processes via the DMR API."""
+        _check(state_bytes, old, new)
+        if new == old:
+            plan = plan_migrate(old, state_bytes)
+        elif new > old:
+            plan = (
+                plan_expand(old, new, state_bytes)
+                if new % old == 0
+                else plan_block_remap(old, new, state_bytes)
+            )
+        else:
+            plan = (
+                plan_shrink(old, new, state_bytes)
+                if old % new == 0
+                else plan_block_remap(old, new, state_bytes)
+            )
+        phases = {
+            "rms_negotiation": self.rpc_latency,
+            "spawn": self.cluster.spawn.spawn_time(new),
+            "redistribution": self.cluster.network.redistribution_time(
+                plan.bytes_out, plan.bytes_in, messages=max(1, plan.message_count)
+            ),
+        }
+        if new < old:
+            # Synchronized shrink: releasing nodes ACK to the management
+            # node before Slurm reclaims them (Section V-B2).
+            phases["shrink_acks"] = self.ack_base + self.ack_per_node * (old - new)
+        return ReconfigurationCost("dmr", old, new, phases)
+
+
+def spawning_factor(
+    cr: ReconfigurationCost, dmr: ReconfigurationCost
+) -> float:
+    """The Fig. 1 bar label: how much costlier C/R spawning is vs DMR."""
+    if dmr.total <= 0:
+        raise CheckpointError("DMR cost must be positive")
+    return cr.total / dmr.total

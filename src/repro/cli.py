@@ -1,0 +1,192 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro list            # what can be reproduced
+    python -m repro fig1            # one figure
+    python -m repro fig10 fig11     # several
+    python -m repro all             # everything (a few minutes)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+
+def _fig01() -> str:
+    from repro.experiments.fig01_cr_vs_dmr import run_fig01
+
+    return run_fig01().as_table()
+
+
+def _fig03() -> str:
+    from repro.experiments.fig03_sync import run_fig03
+
+    return run_fig03().as_table()
+
+
+def _fig04() -> str:
+    from repro.experiments.fig04_05_evolution import run_fig04
+
+    return run_fig04().as_text()
+
+
+def _fig05() -> str:
+    from repro.experiments.fig04_05_evolution import run_fig05
+
+    return run_fig05().as_text()
+
+
+def _fig06() -> str:
+    from repro.experiments.fig06_07_async import run_fig06
+
+    return run_fig06().as_text()
+
+
+def _fig07() -> str:
+    from repro.experiments.fig06_07_async import run_fig07
+
+    return run_fig07().as_table()
+
+
+def _fig08() -> str:
+    from repro.experiments.fig08_heterogeneous import run_fig08
+
+    return run_fig08().as_table()
+
+
+def _fig09() -> str:
+    from repro.experiments.fig09_inhibitor import run_fig09
+
+    return run_fig09().as_table()
+
+
+def _realapps():
+    from repro.experiments.fig10_12_realapps import run_realapps
+
+    if not hasattr(_realapps, "_cache"):
+        _realapps._cache = run_realapps()  # type: ignore[attr-defined]
+    return _realapps._cache  # type: ignore[attr-defined]
+
+
+def _fig10() -> str:
+    return _realapps().fig10_table()
+
+
+def _fig11() -> str:
+    return _realapps().fig11_table()
+
+
+def _fig12() -> str:
+    return _realapps().fig12_text()
+
+
+def _table2() -> str:
+    return _realapps().table2()
+
+
+def _scalability() -> str:
+    from repro.experiments.scalability import run_scalability
+
+    return run_scalability().as_table()
+
+
+#: Registry of reproducible artifacts.
+ARTIFACTS: Dict[str, Callable[[], str]] = {
+    "fig1": _fig01,
+    "fig3": _fig03,
+    "fig4": _fig04,
+    "fig5": _fig05,
+    "fig6": _fig06,
+    "fig7": _fig07,
+    "fig8": _fig08,
+    "fig9": _fig09,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "table2": _table2,
+    "scalability": _scalability,
+}
+
+
+#: Artifacts that can also emit CSV, and how.
+CSV_SOURCES: Dict[str, Callable[[], str]] = {
+    "fig1": lambda: __import__(
+        "repro.experiments.fig01_cr_vs_dmr", fromlist=["run_fig01"]
+    ).run_fig01().as_csv(),
+    "fig3": lambda: __import__(
+        "repro.experiments.fig03_sync", fromlist=["run_fig03"]
+    ).run_fig03().as_csv(),
+    "fig7": lambda: __import__(
+        "repro.experiments.fig06_07_async", fromlist=["run_fig07"]
+    ).run_fig07().as_csv(),
+    "fig8": lambda: __import__(
+        "repro.experiments.fig08_heterogeneous", fromlist=["run_fig08"]
+    ).run_fig08().as_csv(),
+    "fig9": lambda: __import__(
+        "repro.experiments.fig09_inhibitor", fromlist=["run_fig09"]
+    ).run_fig09().as_csv(),
+    "table2": lambda: _realapps().as_csv(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate the evaluation of 'Efficient Scalable Computing "
+            "through Flexible Applications and Adaptive Workloads' "
+            "(Iserte et al., ICPP 2017)."
+        ),
+    )
+    parser.add_argument(
+        "artifacts",
+        nargs="+",
+        metavar="ARTIFACT",
+        help="'list', 'all', or any of: " + ", ".join(ARTIFACTS),
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write <artifact>.csv files into DIR (where supported)",
+    )
+    return parser
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    wanted: List[str] = []
+    for name in args.artifacts:
+        key = name.lower()
+        if key == "list":
+            print("reproducible artifacts:", ", ".join(ARTIFACTS))
+            continue
+        if key == "all":
+            wanted.extend(ARTIFACTS)
+            continue
+        if key not in ARTIFACTS:
+            print(f"unknown artifact {name!r}; try 'list'", file=sys.stderr)
+            return 2
+        wanted.append(key)
+    seen = set()
+    for key in wanted:
+        if key in seen:
+            continue
+        seen.add(key)
+        print(ARTIFACTS[key]())
+        if args.csv is not None and key in CSV_SOURCES:
+            import os
+
+            os.makedirs(args.csv, exist_ok=True)
+            path = os.path.join(args.csv, f"{key}.csv")
+            with open(path, "w") as fh:
+                fh.write(CSV_SOURCES[key]())
+            print(f"[csv written to {path}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

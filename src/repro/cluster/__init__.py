@@ -1,0 +1,31 @@
+"""Cluster substrate: nodes, allocation bookkeeping and performance models.
+
+This package simulates the hardware the paper ran on (Marenostrum III):
+whole-node allocations, an FDR10-class interconnect (alpha-beta model), an
+``MPI_Comm_spawn`` cost model, and a GPFS-like shared filesystem used only
+by the checkpoint/restart baseline.
+"""
+
+from repro.cluster.configs import (
+    ClusterConfig,
+    marenostrum_preliminary,
+    marenostrum_production,
+)
+from repro.cluster.machine import Machine
+from repro.cluster.network import GiB, MiB, NetworkModel, SpawnModel
+from repro.cluster.node import Node, NodeState
+from repro.cluster.storage import SharedFilesystem
+
+__all__ = [
+    "ClusterConfig",
+    "GiB",
+    "Machine",
+    "MiB",
+    "NetworkModel",
+    "Node",
+    "NodeState",
+    "SharedFilesystem",
+    "SpawnModel",
+    "marenostrum_preliminary",
+    "marenostrum_production",
+]

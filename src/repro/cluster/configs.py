@@ -1,0 +1,45 @@
+"""Preset cluster configurations matching the paper's testbeds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.machine import Machine
+from repro.cluster.network import NetworkModel, SpawnModel
+from repro.cluster.storage import SharedFilesystem
+
+
+@dataclass
+class ClusterConfig:
+    """Bundle of machine size and performance models for one testbed."""
+
+    num_nodes: int
+    cores_per_node: int = 16
+    memory_gb: float = 128.0
+    name: str = "marenostrum"
+    network: NetworkModel = field(default_factory=NetworkModel)
+    storage: SharedFilesystem = field(default_factory=SharedFilesystem)
+    spawn: SpawnModel = field(default_factory=SpawnModel)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+
+    def build_machine(self) -> Machine:
+        """Instantiate a fresh :class:`Machine` for this configuration."""
+        return Machine(
+            num_nodes=self.num_nodes,
+            cores_per_node=self.cores_per_node,
+            memory_gb=self.memory_gb,
+            name=self.name,
+        )
+
+
+def marenostrum_preliminary() -> ClusterConfig:
+    """Section VIII testbed: 20 nodes for the Flexible Sleep study."""
+    return ClusterConfig(num_nodes=20, name="marenostrum-prelim")
+
+
+def marenostrum_production() -> ClusterConfig:
+    """Section IX testbed: 65 nodes for the real-application workloads."""
+    return ClusterConfig(num_nodes=65, name="marenostrum-prod")

@@ -1,0 +1,175 @@
+"""Cluster-wide node allocation bookkeeping.
+
+The :class:`Machine` tracks which nodes belong to which job, supports the
+partial grow/release operations the Slurm resize protocol needs, and emits
+allocation-change notifications that the metrics layer integrates into the
+resource-utilization series reported in Table II of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cluster.node import Node, NodeState
+from repro.errors import ClusterError
+
+#: Signature of allocation observers: (allocated_node_count) -> None.
+AllocationObserver = Callable[[int], None]
+
+
+class Machine:
+    """A homogeneous cluster of whole-node-allocatable compute nodes."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        cores_per_node: int = 16,
+        memory_gb: float = 128.0,
+        name: str = "marenostrum",
+    ) -> None:
+        if num_nodes < 1:
+            raise ClusterError(f"cluster needs at least one node, got {num_nodes}")
+        self.name = name
+        self.nodes: List[Node] = [
+            Node(index=i, cores=cores_per_node, memory_gb=memory_gb)
+            for i in range(num_nodes)
+        ]
+        self._free: Set[int] = set(range(num_nodes))
+        self._by_job: Dict[int, List[int]] = {}
+        self._observers: List[AllocationObserver] = []
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def cores_per_node(self) -> int:
+        return self.nodes[0].cores
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def used_count(self) -> int:
+        return self.num_nodes - len(self._free)
+
+    def can_allocate(self, count: int) -> bool:
+        """Whether ``count`` free nodes are currently available."""
+        return 0 <= count <= len(self._free)
+
+    def nodes_of(self, job_id: int) -> Tuple[int, ...]:
+        """Indices of the nodes currently owned by ``job_id`` (sorted)."""
+        return tuple(self._by_job.get(job_id, ()))
+
+    def hostnames_of(self, job_id: int) -> Tuple[str, ...]:
+        """Slurm-style node list of a job (what `scontrol` would print)."""
+        return tuple(self.nodes[i].hostname for i in self.nodes_of(job_id))
+
+    def owner_of(self, node_index: int) -> Optional[int]:
+        return self.nodes[node_index].job_id
+
+    def jobs(self) -> Tuple[int, ...]:
+        """Identifiers of all jobs that currently hold nodes."""
+        return tuple(self._by_job)
+
+    # -- observers --------------------------------------------------------
+    def subscribe(self, observer: AllocationObserver) -> None:
+        """Register a callback invoked after every allocation change."""
+        self._observers.append(observer)
+
+    def _notify(self) -> None:
+        used = self.used_count
+        for obs in self._observers:
+            obs(used)
+
+    # -- allocation -------------------------------------------------------
+    def allocate(self, job_id: int, count: int) -> Tuple[int, ...]:
+        """Grant ``count`` free nodes to ``job_id`` (lowest indices first).
+
+        A job may call this repeatedly; new nodes are appended to its
+        existing allocation (this is how an expansion reuses the original
+        nodes, per Section III of the paper).
+        """
+        if count < 1:
+            raise ClusterError(f"allocation count must be >= 1, got {count}")
+        if count > len(self._free):
+            raise ClusterError(
+                f"job {job_id}: requested {count} nodes, only {len(self._free)} free"
+            )
+        picked = sorted(self._free)[:count]
+        for idx in picked:
+            self.nodes[idx].assign(job_id)
+            self._free.discard(idx)
+        self._by_job.setdefault(job_id, []).extend(picked)
+        self._by_job[job_id].sort()
+        self._notify()
+        return tuple(picked)
+
+    def allocate_specific(self, job_id: int, node_indices: Sequence[int]) -> None:
+        """Grant exactly the given free nodes to ``job_id``.
+
+        Used when Slurm transfers the node set of a cancelled resizer job
+        to the original job during an expansion.
+        """
+        indices = list(node_indices)
+        for idx in indices:
+            if idx not in self._free:
+                raise ClusterError(f"node {idx} is not free")
+        for idx in indices:
+            self.nodes[idx].assign(job_id)
+            self._free.discard(idx)
+        self._by_job.setdefault(job_id, []).extend(indices)
+        self._by_job[job_id].sort()
+        self._notify()
+
+    def release(self, job_id: int, node_indices: Optional[Sequence[int]] = None) -> Tuple[int, ...]:
+        """Release some (or all) nodes of ``job_id`` back to the free pool."""
+        owned = self._by_job.get(job_id)
+        if not owned:
+            raise ClusterError(f"job {job_id} holds no nodes")
+        if node_indices is None:
+            to_release = list(owned)
+        else:
+            to_release = list(node_indices)
+            missing = [i for i in to_release if i not in owned]
+            if missing:
+                raise ClusterError(f"job {job_id} does not own nodes {missing}")
+        for idx in to_release:
+            self.nodes[idx].free()
+            self._free.add(idx)
+            owned.remove(idx)
+        if not owned:
+            del self._by_job[job_id]
+        self._notify()
+        return tuple(sorted(to_release))
+
+    def shrink_candidates(self, job_id: int, count: int) -> Tuple[int, ...]:
+        """Pick which nodes a shrink should release (highest indices first).
+
+        Keeping the lowest-indexed nodes mirrors Slurm's behaviour of
+        retaining the job's head node (where the management process that
+        collects shrink ACKs runs).
+        """
+        owned = self._by_job.get(job_id, [])
+        if count > len(owned):
+            raise ClusterError(
+                f"job {job_id}: cannot release {count} of {len(owned)} nodes"
+            )
+        return tuple(sorted(owned, reverse=True)[:count])
+
+    def drain(self, node_indices: Sequence[int]) -> None:
+        """Mark allocated nodes as draining (pending shrink release)."""
+        for idx in node_indices:
+            self.nodes[idx].drain()
+
+    def utilization(self) -> float:
+        """Instantaneous fraction of allocated nodes."""
+        return self.used_count / self.num_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Machine {self.name!r} {self.used_count}/{self.num_nodes} "
+            f"nodes allocated>"
+        )

@@ -1,0 +1,66 @@
+"""Compute-node model.
+
+Nodes mirror the Marenostrum III configuration used in the paper: two
+8-core Intel Xeon E5-2670 sockets (16 cores) and 128 GB of RAM per node.
+The simulator allocates whole nodes to jobs (the paper's malleability is
+expressed in nodes, one MPI rank per node, intra-node parallelism handled
+by OpenMP/OmpSs inside the rank).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class NodeState(enum.Enum):
+    """Slurm-like node lifecycle states."""
+
+    IDLE = "idle"
+    ALLOCATED = "allocated"
+    DRAINING = "draining"  # marked for release during a shrink
+    DOWN = "down"
+
+
+@dataclass
+class Node:
+    """A single compute node."""
+
+    index: int
+    cores: int = 16
+    memory_gb: float = 128.0
+    state: NodeState = NodeState.IDLE
+    #: Identifier of the owning job, when allocated.
+    job_id: Optional[int] = None
+    #: Host name, Marenostrum-style.
+    hostname: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"node index must be >= 0, got {self.index}")
+        if self.cores <= 0:
+            raise ValueError(f"cores must be positive, got {self.cores}")
+        if not self.hostname:
+            self.hostname = f"mn{self.index:04d}"
+
+    @property
+    def is_free(self) -> bool:
+        return self.state is NodeState.IDLE
+
+    def assign(self, job_id: int) -> None:
+        if self.state is not NodeState.IDLE:
+            raise ValueError(f"{self.hostname} is {self.state.value}, cannot assign")
+        self.state = NodeState.ALLOCATED
+        self.job_id = job_id
+
+    def drain(self) -> None:
+        if self.state is not NodeState.ALLOCATED:
+            raise ValueError(f"{self.hostname} is {self.state.value}, cannot drain")
+        self.state = NodeState.DRAINING
+
+    def free(self) -> None:
+        if self.state is NodeState.DOWN:
+            raise ValueError(f"{self.hostname} is down")
+        self.state = NodeState.IDLE
+        self.job_id = None

@@ -1,0 +1,55 @@
+"""Shared-filesystem (GPFS-like) performance model.
+
+Only the checkpoint/restart baseline touches the filesystem; the DMR API
+redistributes data through the interconnect instead.  The decisive
+characteristic reproduced here is that a parallel filesystem's aggregate
+bandwidth is shared and far below the fabric's aggregate, which is what
+makes C/R reconfiguration pay the 30-80x "spawning" penalty of Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SharedFilesystem:
+    """Bandwidth/latency model of a shared parallel filesystem."""
+
+    #: Aggregate write bandwidth across all clients (bytes/s).
+    aggregate_write_bandwidth: float = 1.2e9
+    #: Aggregate read bandwidth across all clients (bytes/s).
+    aggregate_read_bandwidth: float = 1.8e9
+    #: Ceiling a single client can reach (bytes/s).
+    per_client_bandwidth: float = 0.45e9
+    #: Per-operation metadata latency (open/close/stat), seconds.
+    metadata_latency: float = 8e-3
+
+    def __post_init__(self) -> None:
+        if min(
+            self.aggregate_write_bandwidth,
+            self.aggregate_read_bandwidth,
+            self.per_client_bandwidth,
+        ) <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.metadata_latency < 0:
+            raise ValueError("metadata latency must be >= 0")
+
+    def _effective(self, aggregate: float, nclients: int) -> float:
+        if nclients < 1:
+            raise ValueError(f"nclients must be >= 1, got {nclients}")
+        return min(aggregate, nclients * self.per_client_bandwidth)
+
+    def write_time(self, nbytes: float, nclients: int = 1) -> float:
+        """Time for ``nclients`` ranks to collectively write ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"negative byte count {nbytes}")
+        bw = self._effective(self.aggregate_write_bandwidth, nclients)
+        return self.metadata_latency + nbytes / bw
+
+    def read_time(self, nbytes: float, nclients: int = 1) -> float:
+        """Time for ``nclients`` ranks to collectively read ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"negative byte count {nbytes}")
+        bw = self._effective(self.aggregate_read_bandwidth, nclients)
+        return self.metadata_latency + nbytes / bw

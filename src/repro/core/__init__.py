@@ -1,0 +1,36 @@
+"""The paper's primary contribution: the DMR API and its protocol types."""
+
+from repro.core.actions import (
+    DecisionReason,
+    ResizeAction,
+    ResizeDecision,
+    ResizeRequest,
+)
+from repro.core.dmr import CheckOutcome, DMRSession
+from repro.core.handler import OffloadHandler
+from repro.core.inhibitor import CheckInhibitor
+from repro.core.protocol import (
+    CheckReply,
+    CheckRequest,
+    ExpandComplete,
+    Message,
+    RMSChannel,
+    ShrinkAck,
+)
+
+__all__ = [
+    "CheckInhibitor",
+    "CheckOutcome",
+    "CheckReply",
+    "CheckRequest",
+    "DMRSession",
+    "DecisionReason",
+    "ExpandComplete",
+    "Message",
+    "OffloadHandler",
+    "RMSChannel",
+    "ResizeAction",
+    "ResizeDecision",
+    "ResizeRequest",
+    "ShrinkAck",
+]

@@ -1,0 +1,132 @@
+"""Resize actions, requests and decisions shared by the RMS and the runtime.
+
+These types form the vocabulary of the communication protocol between the
+Nanos++-style runtime and the Slurm-style resource manager (Sections III-V
+of the paper): the application states its resizing *willingness* as a
+:class:`ResizeRequest`; the RMS answers with a :class:`ResizeDecision`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import RuntimeAPIError
+
+
+class ResizeAction(enum.Enum):
+    """The three possible RMS answers to a reconfiguration check."""
+
+    NO_ACTION = "no_action"
+    EXPAND = "expand"
+    SHRINK = "shrink"
+
+    def __bool__(self) -> bool:
+        """Truthy when a resize must happen (mirrors ``if (action)`` in C)."""
+        return self is not ResizeAction.NO_ACTION
+
+
+class DecisionReason(enum.Enum):
+    """Why the policy produced its decision (for tests and traces)."""
+
+    NOT_ELIGIBLE = "not_eligible"
+    REQUESTED_ACTION = "requested_action"
+    ALONE_IN_SYSTEM = "alone_in_system"
+    PREFERRED_REACHED = "preferred_reached"
+    EXPAND_TO_PREFERRED = "expand_to_preferred"
+    SHRINK_TO_PREFERRED = "shrink_to_preferred"
+    SHRINK_FOR_PENDING = "shrink_for_pending"
+    PENDING_FITS = "pending_fits"
+    EXPAND_IDLE_RESOURCES = "expand_idle_resources"
+    NO_RESOURCES = "no_resources"
+
+
+@dataclass(frozen=True)
+class ResizeRequest:
+    """Application-side reconfiguration parameters (DMR API inputs).
+
+    Mirrors the input arguments of ``dmr_check_status`` (Section V-A):
+    minimum/maximum number of processes, the resizing factor, and an
+    optional preferred number of processes.
+    """
+
+    min_procs: int
+    max_procs: int
+    factor: int = 2
+    preferred: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.min_procs < 1:
+            raise RuntimeAPIError(f"min_procs must be >= 1, got {self.min_procs}")
+        if self.max_procs < self.min_procs:
+            raise RuntimeAPIError(
+                f"max_procs ({self.max_procs}) < min_procs ({self.min_procs})"
+            )
+        if self.factor < 1:
+            raise RuntimeAPIError(f"factor must be >= 1, got {self.factor}")
+        if self.preferred is not None and not (
+            self.min_procs <= self.preferred <= self.max_procs
+        ):
+            raise RuntimeAPIError(
+                f"preferred ({self.preferred}) outside "
+                f"[{self.min_procs}, {self.max_procs}]"
+            )
+
+    # -- reachable size computations --------------------------------------
+    def expand_sizes(self, current: int) -> Tuple[int, ...]:
+        """Sizes reachable by expansion: current*f, current*f^2, ... <= max."""
+        if self.factor == 1:
+            return tuple(range(current + 1, self.max_procs + 1))
+        sizes = []
+        size = current * self.factor
+        while size <= self.max_procs:
+            sizes.append(size)
+            size *= self.factor
+        return tuple(sizes)
+
+    def shrink_sizes(self, current: int) -> Tuple[int, ...]:
+        """Sizes reachable by shrinking: integer current/f^k >= min, descending."""
+        if self.factor == 1:
+            return tuple(range(current - 1, self.min_procs - 1, -1))
+        sizes = []
+        size = current
+        while size % self.factor == 0:
+            size //= self.factor
+            if size < self.min_procs:
+                break
+            sizes.append(size)
+        return tuple(sizes)
+
+    def max_procs_to(self, current: int, limit: int, available: int) -> Optional[int]:
+        """Largest expansion target <= ``limit`` buildable from free nodes.
+
+        Returns None when no expansion is possible (the paper's
+        ``max_procs_to`` helper in Algorithm 1).
+        """
+        best = None
+        for size in self.expand_sizes(current):
+            if size <= limit and size - current <= available:
+                best = size
+        return best
+
+
+@dataclass(frozen=True)
+class ResizeDecision:
+    """RMS answer: what to do and at which size."""
+
+    action: ResizeAction
+    #: New total number of processes after the action (== current size for
+    #: NO_ACTION).
+    target_procs: int
+    reason: DecisionReason
+    #: For SHRINK_FOR_PENDING: the queued job whose start triggered the
+    #: shrink; it receives maximum priority (Algorithm 1, line 18).
+    beneficiary_job_id: Optional[int] = None
+
+    def __bool__(self) -> bool:
+        return bool(self.action)
+
+    @staticmethod
+    def no_action(current: int, reason: DecisionReason) -> "ResizeDecision":
+        return ResizeDecision(ResizeAction.NO_ACTION, current, reason)

@@ -1,0 +1,80 @@
+"""Scheduling-mode logic of the DMR API.
+
+:class:`DMRSession` encapsulates the parts of ``dmr_check_status`` /
+``dmr_icheck_status`` that are independent of the execution substrate:
+the checking inhibitor and the synchronous/asynchronous decision hand-off.
+
+*Synchronous* (``dmr_check_status``): the call blocks on a runtime<->RMS
+round trip and the returned decision reflects the *current* system state.
+
+*Asynchronous* (``dmr_icheck_status``): the call returns the decision that
+was negotiated during the *previous* step and schedules a new negotiation
+that overlaps with the upcoming step.  The applied decision may therefore
+be stale — the inefficiency analysed in Section VIII-C / Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.actions import ResizeAction, ResizeDecision
+from repro.core.inhibitor import CheckInhibitor
+
+#: A thunk that queries the RMS and returns its decision now.
+DecisionFn = Callable[[], ResizeDecision]
+
+
+@dataclass
+class CheckOutcome:
+    """What a DMR call produced."""
+
+    #: Decision to apply right now (None when the call was inhibited or
+    #: nothing is scheduled yet in asynchronous mode).
+    decision: Optional[ResizeDecision]
+    #: Whether the runtime must charge the blocking RMS round-trip cost.
+    blocking: bool
+    #: Whether the inhibitor swallowed the call.
+    inhibited: bool = False
+
+
+class DMRSession:
+    """Per-job DMR call state (inhibitor + pending asynchronous decision)."""
+
+    def __init__(
+        self,
+        sched_period: float = 0.0,
+        async_mode: bool = False,
+        start_time: float = 0.0,
+    ) -> None:
+        self.async_mode = async_mode
+        self.inhibitor = CheckInhibitor(sched_period, start=start_time)
+        self._pending: Optional[ResizeDecision] = None
+
+    @property
+    def pending(self) -> Optional[ResizeDecision]:
+        """The decision negotiated for the next step (asynchronous mode)."""
+        return self._pending
+
+    def check(self, now: float, decide: DecisionFn) -> CheckOutcome:
+        """Perform one DMR call at time ``now``.
+
+        ``decide`` is invoked (at most once) to obtain the RMS decision
+        based on the current system state.
+        """
+        if not self.inhibitor.try_acquire(now):
+            return CheckOutcome(decision=None, blocking=False, inhibited=True)
+
+        if not self.async_mode:
+            return CheckOutcome(decision=decide(), blocking=True)
+
+        # Asynchronous: apply what was negotiated last step, kick off the
+        # next negotiation (overlapped with compute, hence non-blocking).
+        to_apply, self._pending = self._pending, decide()
+        if to_apply is not None and to_apply.action is ResizeAction.NO_ACTION:
+            to_apply = None
+        return CheckOutcome(decision=to_apply, blocking=False)
+
+    def cancel_pending(self) -> None:
+        """Drop a scheduled decision (e.g. the job is about to finish)."""
+        self._pending = None

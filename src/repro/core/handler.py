@@ -1,0 +1,49 @@
+"""The opaque handler returned by the DMR API.
+
+``dmr_check_status`` returns, besides the action, an opaque handler that
+the application passes to its task-offloading directives
+(``onto(handler, dest)`` in Listing 3).  The handler identifies the freshly
+spawned process set — in this reproduction, the new communicator (real
+MPI-substrate executions) or the new node set (simulated executions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.core.actions import ResizeAction
+
+
+@dataclass(frozen=True)
+class OffloadHandler:
+    """Identifies the spawned process set a resize produced."""
+
+    action: ResizeAction
+    old_procs: int
+    new_procs: int
+    #: Node indices of the new allocation (simulated executions).
+    nodes: Tuple[int, ...] = ()
+    #: The new communicator (real executions on the MPI substrate).
+    comm: Optional[Any] = None
+    #: Time the handler was created (simulation clock).
+    created_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.old_procs < 1 or self.new_procs < 1:
+            raise ValueError("process counts must be >= 1")
+
+    @property
+    def factor(self) -> int:
+        """The homogeneous mapping factor between old and new sets."""
+        if self.new_procs >= self.old_procs:
+            if self.new_procs % self.old_procs:
+                raise ValueError(
+                    f"non-homogeneous expand {self.old_procs}->{self.new_procs}"
+                )
+            return self.new_procs // self.old_procs
+        if self.old_procs % self.new_procs:
+            raise ValueError(
+                f"non-homogeneous shrink {self.old_procs}->{self.new_procs}"
+            )
+        return self.old_procs // self.new_procs

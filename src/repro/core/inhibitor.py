@@ -1,0 +1,52 @@
+"""The "checking inhibitor" (Section V-A).
+
+Iterative applications with very short steps would otherwise contact the
+RMS at every iteration; the inhibitor introduces a period (the
+``NANOX_SCHED_PERIOD`` environment variable in the paper's Nanos++
+implementation) during which DMR API calls are ignored, trading scheduling
+reactivity for lower runtime<->RMS communication overhead (evaluated in
+Fig. 9).
+"""
+
+from __future__ import annotations
+
+from repro.errors import RuntimeAPIError
+
+
+class CheckInhibitor:
+    """Rate-limits reconfiguration checks to one per ``period`` seconds.
+
+    A period of 0 disables inhibition (every call goes through).  The
+    period starts counting at ``start`` — the first check is allowed at
+    ``start + period``, matching a runtime that arms the timer when the
+    job launches.
+    """
+
+    def __init__(self, period: float = 0.0, start: float = 0.0) -> None:
+        if period < 0:
+            raise RuntimeAPIError(f"inhibitor period must be >= 0, got {period}")
+        self.period = period
+        self._last_check = start
+
+    @property
+    def last_check(self) -> float:
+        return self._last_check
+
+    def allows(self, now: float) -> bool:
+        """Whether a DMR call at time ``now`` would be serviced."""
+        return now - self._last_check >= self.period
+
+    def record(self, now: float) -> None:
+        """Note that a (serviced) check happened at ``now``."""
+        if now < self._last_check:
+            raise RuntimeAPIError(
+                f"check times must be monotone: {now} < {self._last_check}"
+            )
+        self._last_check = now
+
+    def try_acquire(self, now: float) -> bool:
+        """Combined allows+record: True when the check may proceed."""
+        if not self.allows(now):
+            return False
+        self.record(now)
+        return True

@@ -1,0 +1,126 @@
+"""The runtime <-> RMS communication protocol (contribution 3).
+
+The paper's third contribution is "a communication protocol for the
+runtime to interact with the RMS, based on application-level API calls".
+This module gives that protocol an explicit message vocabulary and a
+latency-modelled channel, so the round trip the synchronous
+``dmr_check_status`` blocks on is a real exchange rather than a flat
+cost constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Generator, Optional, TYPE_CHECKING
+
+from repro.core.actions import ResizeDecision, ResizeRequest
+from repro.errors import RuntimeAPIError
+from repro.sim.engine import Environment
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.slurm.controller import SlurmController
+    from repro.slurm.job import Job
+
+_msg_ids = count(1)
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base protocol message."""
+
+    job_id: int
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+
+@dataclass(frozen=True)
+class CheckRequest(Message):
+    """Runtime -> RMS: the application reached a reconfiguring point."""
+
+    request: Optional[ResizeRequest] = None
+
+    def __post_init__(self) -> None:
+        if self.request is None:
+            raise RuntimeAPIError("CheckRequest needs a ResizeRequest")
+
+
+@dataclass(frozen=True)
+class CheckReply(Message):
+    """RMS -> runtime: the plug-in's decision."""
+
+    decision: Optional[ResizeDecision] = None
+    #: Echo of the triggering request's msg_id.
+    in_reply_to: int = 0
+
+
+@dataclass(frozen=True)
+class ShrinkAck(Message):
+    """Node daemon -> management node: offloaded tasks done, node ready
+    to be released (the synchronized shrink workflow of Section V-B2)."""
+
+    node_index: int = -1
+
+
+@dataclass(frozen=True)
+class ExpandComplete(Message):
+    """Runtime -> RMS: the spawned processes joined; expansion finished."""
+
+    new_size: int = 0
+
+
+class RMSChannel:
+    """Latency-modelled request/reply channel to the controller.
+
+    One channel per job, like one Nanos++ instance per job.  The
+    synchronous DMR path calls :meth:`check` from inside the job's
+    simulation process; the exchange costs one uplink plus one downlink
+    latency and the decision reflects the state the RMS saw when the
+    request *arrived* — which is what makes simultaneous checks from
+    different jobs serialize realistically.
+    """
+
+    def __init__(
+        self,
+        controller: "SlurmController",
+        latency: float = 0.075,
+    ) -> None:
+        if latency < 0:
+            raise RuntimeAPIError(f"latency must be >= 0, got {latency}")
+        self.controller = controller
+        self.latency = latency
+        #: Complete message log (for tests and traces).
+        self.log: list[Message] = []
+
+    @property
+    def env(self) -> Environment:
+        return self.controller.env
+
+    @property
+    def round_trip(self) -> float:
+        return 2.0 * self.latency
+
+    def check(
+        self, job: "Job", request: ResizeRequest
+    ) -> Generator[Event, object, ResizeDecision]:
+        """Full synchronous exchange; yields the wire latencies."""
+        msg = CheckRequest(job_id=job.job_id, request=request)
+        self.log.append(msg)
+        if self.latency:
+            yield self.env.timeout(self.latency)  # uplink
+        decision = self.controller.check_status(job, request)
+        reply = CheckReply(
+            job_id=job.job_id, decision=decision, in_reply_to=msg.msg_id
+        )
+        self.log.append(reply)
+        if self.latency:
+            yield self.env.timeout(self.latency)  # downlink
+        return decision
+
+    def notify_shrink_acks(self, job: "Job", node_indices: tuple) -> None:
+        """Record the per-node ACKs of a synchronized shrink."""
+        for idx in node_indices:
+            self.log.append(ShrinkAck(job_id=job.job_id, node_index=idx))
+
+    def notify_expand_complete(self, job: "Job", new_size: int) -> None:
+        self.log.append(ExpandComplete(job_id=job.job_id, new_size=new_size))

@@ -1,0 +1,55 @@
+"""Exception hierarchy shared by all ``repro`` subsystems."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class SimulationError(ReproError):
+    """Invalid use of the discrete-event simulation kernel."""
+
+
+class DeadlockError(SimulationError):
+    """No runnable entity remains while some entity is still blocked."""
+
+
+class ClusterError(ReproError):
+    """Invalid allocation request or node bookkeeping violation."""
+
+
+class SchedulerError(ReproError):
+    """Workload-manager level error (bad job state transition, etc.)."""
+
+
+class JobStateError(SchedulerError):
+    """A job was driven through an illegal state transition."""
+
+
+class MPIError(ReproError):
+    """Errors raised by the in-process MPI substrate."""
+
+
+class CommunicatorError(MPIError):
+    """Operation on an invalid, freed, or foreign communicator."""
+
+
+class TruncationError(MPIError):
+    """A receive buffer was too small for the matched message."""
+
+
+class RuntimeAPIError(ReproError):
+    """Misuse of the Nanos++-style runtime or the DMR API."""
+
+
+class RedistributionError(RuntimeAPIError):
+    """An expand/shrink data-redistribution plan could not be built."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload-generation parameters."""
+
+
+class CheckpointError(ReproError):
+    """Failure in the checkpoint/restart baseline."""

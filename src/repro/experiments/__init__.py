@@ -1,0 +1,15 @@
+"""Experiment drivers: one module per paper figure/table."""
+
+from repro.experiments.common import (
+    PairedComparison,
+    WorkloadResult,
+    run_paired,
+    run_workload,
+)
+
+__all__ = [
+    "PairedComparison",
+    "WorkloadResult",
+    "run_paired",
+    "run_workload",
+]

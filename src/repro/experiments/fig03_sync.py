@@ -1,0 +1,89 @@
+"""Fig. 3 — fixed vs flexible FS workloads, synchronous scheduling.
+
+Workloads of 10..400 Flexible Sleep jobs on the 20-node preliminary
+testbed, executed once rigid and once malleable.  The paper observes a
+gain band of roughly 10-15% for the mid-size workloads (higher for the
+10-job one thanks to near-full allocation, Fig. 4), with the benefit
+slowly decreasing as the finite workload grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cluster.configs import ClusterConfig, marenostrum_preliminary
+from repro.experiments.common import PairedComparison, run_paired
+from repro.metrics.report import format_table
+from repro.runtime.nanos import RuntimeConfig
+from repro.workload.generator import FSWorkloadConfig, fs_workload
+
+#: The paper's workload sizes.
+FIG3_JOB_COUNTS = (10, 25, 50, 100, 200, 400)
+
+
+@dataclass
+class SweepRow:
+    """One workload size of a fixed-vs-flexible sweep."""
+
+    num_jobs: int
+    pair: PairedComparison
+
+    @property
+    def fixed_time(self) -> float:
+        return self.pair.fixed.makespan
+
+    @property
+    def flexible_time(self) -> float:
+        return self.pair.flexible.makespan
+
+    @property
+    def gain(self) -> float:
+        return self.pair.makespan_gain
+
+
+@dataclass
+class SweepResult:
+    title: str
+    rows: List[SweepRow]
+
+    def _cells(self) -> List[List[object]]:
+        return [
+            [r.num_jobs, r.fixed_time, r.flexible_time, r.gain] for r in self.rows
+        ]
+
+    def as_table(self) -> str:
+        return format_table(
+            ["jobs", "fixed (s)", "flexible (s)", "gain (%)"],
+            self._cells(),
+            title=self.title,
+        )
+
+    def as_csv(self) -> str:
+        from repro.metrics.report import format_csv
+
+        return format_csv(["jobs", "fixed_s", "flexible_s", "gain_pct"], self._cells())
+
+
+def run_fig03(
+    job_counts: Sequence[int] = FIG3_JOB_COUNTS,
+    seed: int = 2017,
+    cluster: Optional[ClusterConfig] = None,
+    fs_config: Optional[FSWorkloadConfig] = None,
+) -> SweepResult:
+    """Run the synchronous fixed-vs-flexible sweep."""
+    cluster = cluster or marenostrum_preliminary()
+    fs_config = fs_config or FSWorkloadConfig()
+    runtime = RuntimeConfig(async_mode=False)
+    rows = []
+    for n in job_counts:
+        spec = fs_workload(n, seed=seed, config=fs_config)
+        rows.append(SweepRow(n, run_paired(spec, cluster, runtime_config=runtime)))
+    return SweepResult(
+        title="Fig. 3: fixed vs flexible workloads (synchronous scheduling)",
+        rows=rows,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_fig03().as_table())

@@ -1,0 +1,51 @@
+"""Figs. 6 & 7 — asynchronous reconfiguration scheduling.
+
+``dmr_icheck_status`` negotiates the resize during the current step and
+applies it at the next reconfiguring point.  The applied decision can be
+stale: Fig. 6 dissects how the 10-job workload loses allocation windows
+to outdated expansion targets; Fig. 7 repeats the Fig. 3 sweep in
+asynchronous mode, where small workloads can lose to the fixed rendition
+while larger ones retain a ~6% gain.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cluster.configs import ClusterConfig, marenostrum_preliminary
+from repro.experiments.fig03_sync import SweepResult, SweepRow
+from repro.experiments.fig04_05_evolution import EvolutionResult, run_evolution
+from repro.experiments.common import run_paired
+from repro.runtime.nanos import RuntimeConfig
+from repro.workload.generator import FSWorkloadConfig, fs_workload
+
+FIG7_JOB_COUNTS = (10, 25, 50, 100, 200, 400)
+
+
+def run_fig06(seed: int = 2017) -> EvolutionResult:
+    """Fig. 6: evolution of the 10-job workload under async scheduling."""
+    return run_evolution(10, seed=seed, async_mode=True)
+
+
+def run_fig07(
+    job_counts: Sequence[int] = FIG7_JOB_COUNTS,
+    seed: int = 2017,
+    cluster: Optional[ClusterConfig] = None,
+    fs_config: Optional[FSWorkloadConfig] = None,
+) -> SweepResult:
+    """Fig. 7: the fixed-vs-flexible sweep with asynchronous decisions."""
+    cluster = cluster or marenostrum_preliminary()
+    fs_config = fs_config or FSWorkloadConfig()
+    runtime = RuntimeConfig(async_mode=True)
+    rows = []
+    for n in job_counts:
+        spec = fs_workload(n, seed=seed, config=fs_config)
+        rows.append(SweepRow(n, run_paired(spec, cluster, runtime_config=runtime)))
+    return SweepResult(
+        title="Fig. 7: fixed vs flexible workloads (asynchronous scheduling)",
+        rows=rows,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_fig07().as_table())

@@ -1,0 +1,131 @@
+"""Fig. 9 — the checking-period inhibitor on micro-step applications.
+
+FS workloads whose steps average ~2 seconds: a DMR call at every iteration
+then spends a meaningful share of the step on runtime<->RMS communication.
+The paper compares, against the fixed baseline, a flexible run without the
+inhibitor and with inhibition periods of 2/5/10/20 s, finding that the
+uninhibited run can even lose to the fixed workload while a ~5 s period
+performs best.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.configs import ClusterConfig, marenostrum_preliminary
+from repro.experiments.common import run_workload
+from repro.metrics.report import format_table
+from repro.metrics.summary import gain_percent
+from repro.runtime.nanos import RuntimeConfig
+from repro.workload.generator import FSWorkloadConfig, fs_workload
+
+FIG9_JOB_COUNTS = (10, 25, 50, 100)
+#: None = no inhibitor (the paper's plain "Flexible" group).
+FIG9_PERIODS = (None, 2.0, 5.0, 10.0, 20.0)
+
+#: Micro-step FS configuration: ~2 s average steps ("we reduced the time
+#: step in the model to an average of 2 seconds").
+MICROSTEP_CONFIG = FSWorkloadConfig(
+    steps=50,
+    step_cap=8.0,
+    step_short_mean=1.6,
+    step_long_mean=4.0,
+)
+
+
+@dataclass
+class Fig09Cell:
+    num_jobs: int
+    period: Optional[float]
+    makespan: float
+    fixed_makespan: float
+
+    @property
+    def gain(self) -> float:
+        return gain_percent(self.fixed_makespan, self.makespan)
+
+    @property
+    def label(self) -> str:
+        return "Flexible" if self.period is None else f"Sched {self.period:g}"
+
+
+@dataclass
+class Fig09Result:
+    cells: List[Fig09Cell]
+
+    def cell(self, num_jobs: int, period: Optional[float]) -> Fig09Cell:
+        for c in self.cells:
+            if c.num_jobs == num_jobs and c.period == period:
+                return c
+        raise KeyError((num_jobs, period))
+
+    def by_period(self, period: Optional[float]) -> List[Fig09Cell]:
+        return [c for c in self.cells if c.period == period]
+
+    def as_table(self) -> str:
+        periods = sorted({c.period for c in self.cells}, key=lambda p: (-1 if p is None else p))
+        counts = sorted({c.num_jobs for c in self.cells})
+        rows = []
+        for period in periods:
+            label = "Flexible" if period is None else f"Sched {period:g}"
+            row: List[object] = [label]
+            for n in counts:
+                c = self.cell(n, period)
+                row.append(f"{c.makespan:.0f}s ({c.gain:+.1f}%)")
+            rows.append(row)
+        return format_table(
+            ["configuration"] + [f"{n} jobs" for n in counts],
+            rows,
+            title="Fig. 9: micro-step workloads, inhibition periods (gain vs fixed)",
+        )
+
+    def as_csv(self) -> str:
+        from repro.metrics.report import format_csv
+
+        return format_csv(
+            ["num_jobs", "period_s", "makespan_s", "fixed_makespan_s", "gain_pct"],
+            [
+                [c.num_jobs, 0.0 if c.period is None else c.period, c.makespan,
+                 c.fixed_makespan, c.gain]
+                for c in self.cells
+            ],
+        )
+
+
+def run_fig09(
+    job_counts: Sequence[int] = FIG9_JOB_COUNTS,
+    periods: Sequence[Optional[float]] = FIG9_PERIODS,
+    seed: int = 2017,
+    cluster: Optional[ClusterConfig] = None,
+    check_cost: float = 0.15,
+) -> Fig09Result:
+    """Run the inhibitor-period study."""
+    cluster = cluster or marenostrum_preliminary()
+    cells: List[Fig09Cell] = []
+    for n in job_counts:
+        # Fixed baseline, shared across all periods of this workload size.
+        base_spec = fs_workload(n, seed=seed, config=MICROSTEP_CONFIG)
+        fixed = run_workload(base_spec, cluster, flexible=False)
+        for period in periods:
+            cfg = replace(MICROSTEP_CONFIG, sched_period=period or 0.0)
+            spec = fs_workload(n, seed=seed, config=cfg)
+            flexible = run_workload(
+                spec,
+                cluster,
+                flexible=True,
+                runtime_config=RuntimeConfig(check_cost=check_cost),
+            )
+            cells.append(
+                Fig09Cell(
+                    num_jobs=n,
+                    period=period,
+                    makespan=flexible.makespan,
+                    fixed_makespan=fixed.makespan,
+                )
+            )
+    return Fig09Result(cells=cells)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_fig09().as_table())

@@ -1,0 +1,118 @@
+"""Section IX-A — the individual-scalability pre-study.
+
+Before running the production workloads, the paper evaluates each real
+application's strong scaling and classifies it:
+
+* **High scalability** (CG, Jacobi): best speed-up at 32 processes, but
+  marginal gains below 10% beyond 8 — the "sweet configuration spot";
+* **Constant performance** (N-body): peak at 16 processes with less than
+  10% total gain over sequential — sweet spot at a single process.
+
+These classifications are what the Table I ``preferred`` values encode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.apps.base import AppModel
+from repro.apps.cg import conjugate_gradient
+from repro.apps.jacobi import jacobi
+from repro.apps.nbody import nbody
+from repro.metrics.report import format_table
+
+PROC_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+@dataclass
+class ScalabilityRow:
+    """One application's strong-scaling profile."""
+
+    app_name: str
+    speedups: Dict[int, float]
+    step_times: Dict[int, float]
+    preferred: int
+
+    @property
+    def peak_procs(self) -> int:
+        """Process count with the best speed-up."""
+        return max(self.speedups, key=lambda p: self.speedups[p])
+
+    @property
+    def sweet_spot(self) -> int:
+        """The paper's sweet-spot criteria.
+
+        Constant-performance applications (total gain < 10%) get a
+        single process; otherwise the spot is the first process count
+        from which "the difference gain between tests drops below 10%" —
+        i.e. every further doubling improves the speed-up by less than
+        10%.
+        """
+        if self.speedups[self.peak_procs] < 1.10:
+            return 1
+        counts = sorted(self.speedups)
+        for i, procs in enumerate(counts):
+            marginal_gains = [
+                self.speedups[counts[j + 1]] / self.speedups[counts[j]]
+                for j in range(i, len(counts) - 1)
+            ]
+            if all(g < 1.10 for g in marginal_gains):
+                return procs
+        return self.peak_procs
+
+
+@dataclass
+class ScalabilityResult:
+    rows: List[ScalabilityRow]
+
+    def row(self, app_name: str) -> ScalabilityRow:
+        for r in self.rows:
+            if r.app_name == app_name:
+                return r
+        raise KeyError(app_name)
+
+    def as_table(self) -> str:
+        header = ["application"] + [f"S({p})" for p in PROC_COUNTS] + [
+            "peak", "sweet spot", "Table I preferred",
+        ]
+        cells = []
+        for r in self.rows:
+            cells.append(
+                [r.app_name]
+                + [f"{r.speedups[p]:.2f}" for p in PROC_COUNTS]
+                + [r.peak_procs, r.sweet_spot, r.preferred]
+            )
+        return format_table(
+            header, cells, title="Section IX-A: individual application scalability"
+        )
+
+
+def run_scalability(
+    factories: Sequence[Callable[[], AppModel]] = (
+        conjugate_gradient,
+        jacobi,
+        nbody,
+    ),
+    proc_counts: Sequence[int] = PROC_COUNTS,
+) -> ScalabilityResult:
+    """Profile each application's scaling across ``proc_counts``."""
+    rows = []
+    for factory in factories:
+        app = factory()
+        speedups = {p: app.scalability.speedup(p) for p in proc_counts}
+        step_times = {p: app.step_time(p) for p in proc_counts}
+        assert app.resize is not None
+        rows.append(
+            ScalabilityRow(
+                app_name=app.name,
+                speedups=speedups,
+                step_times=step_times,
+                preferred=app.resize.preferred or 1,
+            )
+        )
+    return ScalabilityResult(rows=rows)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_scalability().as_table())

@@ -1,0 +1,33 @@
+"""Measurement layer: traces, timelines and paper-metric summaries."""
+
+from repro.metrics.report import (
+    format_csv,
+    format_evolution,
+    format_table,
+    sparkline,
+)
+from repro.metrics.summary import WorkloadSummary, gain_percent, summarize
+from repro.metrics.timeline import (
+    StepSeries,
+    allocated_nodes_series,
+    completed_jobs_series,
+    running_jobs_series,
+)
+from repro.metrics.trace import EventKind, Trace, TraceEvent
+
+__all__ = [
+    "EventKind",
+    "StepSeries",
+    "Trace",
+    "TraceEvent",
+    "WorkloadSummary",
+    "allocated_nodes_series",
+    "completed_jobs_series",
+    "format_csv",
+    "format_evolution",
+    "format_table",
+    "gain_percent",
+    "running_jobs_series",
+    "sparkline",
+    "summarize",
+]

@@ -1,0 +1,79 @@
+"""Plain-text rendering of experiment results (tables and ASCII series).
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers format them readably and emit CSV for post-processing.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, Sequence, Tuple
+
+from repro.metrics.timeline import StepSeries
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    sep = "-+-".join("-" * w for w in widths)
+    out.write(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)) + "\n")
+    out.write(sep + "\n")
+    for row in cells[1:]:
+        out.write(" | ".join(c.ljust(w) for c, w in zip(row, widths)) + "\n")
+    return out.getvalue()
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Comma-separated rendering (no quoting; keep cells simple)."""
+    lines = [",".join(str(h) for h in headers)]
+    for row in rows:
+        lines.append(",".join(_fmt(c).replace(",", "") for c in row))
+    return "\n".join(lines) + "\n"
+
+
+def sparkline(series: StepSeries, t0: float, t1: float, width: int = 60) -> str:
+    """One-line ASCII rendering of a step series (for evolution figures)."""
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    blocks = " ▁▂▃▄▅▆▇█"
+    samples = [
+        series.at(t0 + (t1 - t0) * i / max(1, width - 1)) for i in range(width)
+    ]
+    top = max(samples) or 1.0
+    return "".join(blocks[int(round(s / top * (len(blocks) - 1)))] for s in samples)
+
+
+def format_evolution(
+    label: str,
+    series_pairs: List[Tuple[str, StepSeries]],
+    t0: float,
+    t1: float,
+    width: int = 60,
+) -> str:
+    """Multi-series ASCII evolution chart (Figs. 4-6, 12 analogue)."""
+    out = io.StringIO()
+    out.write(f"{label}  [{t0:.0f} s .. {t1:.0f} s]\n")
+    for name, series in series_pairs:
+        peak = max(series.values) if series.values else 0
+        out.write(f"  {name:>16} |{sparkline(series, t0, t1, width)}| peak={peak:.0f}\n")
+    return out.getvalue()

@@ -1,0 +1,96 @@
+"""Aggregate workload measures (Table II of the paper).
+
+Table II reports, per workload and per rendition (fixed/flexible):
+
+* **Avg. resource utilization rate** — the average fraction of time nodes
+  are allocated to jobs, relative to the workload execution time;
+* **Avg. job waiting time** — submission to start;
+* **Avg. job execution time** — start to end;
+* **Avg. job completion time** — waiting plus execution.
+
+Plus the headline **workload execution time** (makespan) of Fig. 10 and
+the **gain** lines of Figs. 3, 7, 10 and 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.metrics.timeline import allocated_nodes_series
+from repro.metrics.trace import Trace
+from repro.slurm.job import Job
+
+
+@dataclass(frozen=True)
+class WorkloadSummary:
+    """The Table II row (one workload, one rendition)."""
+
+    num_jobs: int
+    makespan: float
+    utilization_rate: float
+    avg_wait_time: float
+    avg_execution_time: float
+    avg_completion_time: float
+    total_node_seconds: float
+    resize_count: int
+
+    def as_dict(self) -> dict:
+        return {
+            "num_jobs": self.num_jobs,
+            "makespan": self.makespan,
+            "utilization_rate": self.utilization_rate,
+            "avg_wait_time": self.avg_wait_time,
+            "avg_execution_time": self.avg_execution_time,
+            "avg_completion_time": self.avg_completion_time,
+            "total_node_seconds": self.total_node_seconds,
+            "resize_count": self.resize_count,
+        }
+
+
+def summarize(jobs: Sequence[Job], trace: Trace, num_nodes: int) -> WorkloadSummary:
+    """Compute the Table II measures for one finished workload.
+
+    ``jobs`` are the workload's (non-resizer) jobs, all terminal.
+    """
+    real_jobs: List[Job] = [j for j in jobs if not j.is_resizer]
+    if not real_jobs:
+        raise ValueError("no jobs to summarize")
+    incomplete = [j for j in real_jobs if j.end_time is None]
+    if incomplete:
+        raise ValueError(f"jobs not finished: {[j.job_id for j in incomplete]}")
+
+    t0 = min(j.submit_time for j in real_jobs)
+    t1 = max(j.end_time for j in real_jobs)
+    makespan = t1 - t0
+
+    alloc = allocated_nodes_series(trace)
+    node_seconds = alloc.integral(t0, t1)
+    utilization = node_seconds / (num_nodes * makespan) if makespan > 0 else 0.0
+
+    waits = np.array([j.wait_time for j in real_jobs])
+    execs = np.array([j.execution_time for j in real_jobs])
+    resizes = sum(len(j.resizes) for j in real_jobs)
+
+    return WorkloadSummary(
+        num_jobs=len(real_jobs),
+        makespan=makespan,
+        utilization_rate=utilization,
+        avg_wait_time=float(waits.mean()),
+        avg_execution_time=float(execs.mean()),
+        avg_completion_time=float((waits + execs).mean()),
+        total_node_seconds=node_seconds,
+        resize_count=resizes,
+    )
+
+
+def gain_percent(fixed: float, flexible: float) -> float:
+    """The paper's gain metric: how much the flexible rendition saves.
+
+    Positive = flexible is better (smaller), as in Figs. 3/7/10/11.
+    """
+    if fixed == 0:
+        raise ValueError("fixed reference value is zero")
+    return 100.0 * (fixed - flexible) / fixed

@@ -1,0 +1,83 @@
+"""Typed event tracing.
+
+Every interesting scheduler/runtime occurrence is appended to a
+:class:`Trace`; all paper metrics (utilization series, waiting times,
+throughput curves) are pure functions of the trace, which keeps the
+simulation and its measurement decoupled.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+class EventKind(enum.Enum):
+    """Trace event vocabulary."""
+
+    JOB_SUBMIT = "job_submit"
+    JOB_START = "job_start"
+    JOB_END = "job_end"
+    JOB_CANCEL = "job_cancel"
+    RESIZE_DECISION = "resize_decision"
+    RESIZE_EXPAND = "resize_expand"
+    RESIZE_SHRINK = "resize_shrink"
+    RESIZE_ABORT = "resize_abort"
+    DMR_CHECK = "dmr_check"
+    CHECKPOINT_WRITE = "checkpoint_write"
+    CHECKPOINT_READ = "checkpoint_read"
+    ALLOC_CHANGE = "alloc_change"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One record in the simulation trace."""
+
+    time: float
+    kind: EventKind
+    job_id: Optional[int] = None
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.data[key]
+
+
+class Trace:
+    """Append-only event log with small query helpers."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def record(
+        self,
+        time: float,
+        kind: EventKind,
+        job_id: Optional[int] = None,
+        **data: Any,
+    ) -> TraceEvent:
+        event = TraceEvent(time=time, kind=kind, job_id=job_id, data=data)
+        self.events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def of_kind(self, *kinds: EventKind) -> List[TraceEvent]:
+        """All events of the given kind(s), in time order."""
+        wanted = set(kinds)
+        return [e for e in self.events if e.kind in wanted]
+
+    def of_job(self, job_id: int) -> List[TraceEvent]:
+        return [e for e in self.events if e.job_id == job_id]
+
+    def series(self, kind: EventKind, key: str) -> List[Tuple[float, Any]]:
+        """(time, data[key]) pairs for every event of ``kind``."""
+        return [(e.time, e.data[key]) for e in self.events if e.kind is kind]
+
+    def last_time(self) -> float:
+        """Timestamp of the latest event (0.0 for an empty trace)."""
+        return self.events[-1].time if self.events else 0.0

@@ -1,0 +1,59 @@
+"""In-process, deterministic MPI substrate.
+
+Rank functions are generators receiving a :class:`RankContext`; they
+``yield`` operations (sends, receives, collectives, spawns) and are
+resumed with the results.  Real data moves between ranks, dynamic process
+management (``MPI_Comm_spawn``) is supported, and any communication
+deadlock is detected and reported instead of hanging — which is what the
+malleable application kernels need to validate the paper's Listing 1-3
+reconfiguration patterns.
+"""
+
+from repro.mpi.comm import Communicator, Intercommunicator
+from repro.mpi.executor import (
+    MPIExecutor,
+    ProcState,
+    RankContext,
+    REDUCE_OPS,
+    run_world,
+)
+from repro.mpi.ops import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Collective,
+    Exit,
+    Irecv,
+    Isend,
+    Op,
+    Probe,
+    Recv,
+    Request,
+    Send,
+    Sendrecv,
+    Spawn,
+    Waitall,
+)
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Collective",
+    "Communicator",
+    "Exit",
+    "Intercommunicator",
+    "Irecv",
+    "Isend",
+    "MPIExecutor",
+    "Op",
+    "Probe",
+    "ProcState",
+    "REDUCE_OPS",
+    "RankContext",
+    "Recv",
+    "Request",
+    "Send",
+    "Sendrecv",
+    "Spawn",
+    "Waitall",
+    "run_world",
+]

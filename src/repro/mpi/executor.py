@@ -1,0 +1,520 @@
+"""Deterministic in-process MPI executor.
+
+Runs a set of rank generators to completion, matching point-to-point
+messages, collective rendezvous and ``MPI_Comm_spawn`` requests.  Ranks
+are advanced in a fixed round-robin order, so every execution is fully
+deterministic; a sweep in which no rank can make progress raises
+:class:`~repro.errors.DeadlockError` with a per-rank diagnosis.
+
+Real data (NumPy arrays, Python objects) flows between ranks, which is
+what lets the malleable application kernels validate their Listing 3
+redistribution logic against ground truth.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from functools import reduce
+from itertools import count
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import DeadlockError, MPIError
+from repro.mpi.comm import Communicator, Intercommunicator
+from repro.mpi.ops import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Collective,
+    Exit,
+    Irecv,
+    Isend,
+    Op,
+    Probe,
+    Recv,
+    Request,
+    Send,
+    Sendrecv,
+    Spawn,
+    Waitall,
+)
+
+#: Built-in reduction operators.
+REDUCE_OPS: Dict[str, Callable[[Any, Any], Any]] = {
+    "sum": lambda a, b: a + b,
+    "prod": lambda a, b: a * b,
+    "max": lambda a, b: a if not (b > a) else b,
+    "min": lambda a, b: a if not (b < a) else b,
+}
+
+
+class ProcState(enum.Enum):
+    READY = "ready"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+@dataclass
+class _Message:
+    src_proc: int
+    tag: int
+    comm_cid: int
+    value: Any
+
+
+@dataclass
+class _Proc:
+    proc_id: int
+    generator: Any
+    world: Communicator
+    parent: Optional[Intercommunicator]
+    state: ProcState = ProcState.READY
+    #: Value to send into the generator on next resume.
+    inbox_value: Any = None
+    #: The operation the proc is currently blocked on.
+    blocked_on: Optional[Op] = None
+    mailbox: Deque[_Message] = field(default_factory=deque)
+    result: Any = None
+
+
+class RankContext:
+    """Per-rank handle passed to rank functions.
+
+    Rank functions are generators taking a context: ``def main(ctx): ...``
+    and must ``yield`` the operation objects the helper methods build.
+    """
+
+    def __init__(self, proc: _Proc) -> None:
+        self._proc = proc
+
+    # -- identity ---------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self._proc.world.rank_of(self._proc.proc_id)
+
+    @property
+    def size(self) -> int:
+        return self._proc.world.size
+
+    @property
+    def comm(self) -> Communicator:
+        return self._proc.world
+
+    @property
+    def parent(self) -> Optional[Intercommunicator]:
+        """Intercommunicator to the spawning group (None in the first world).
+
+        The analogue of ``MPI_Comm_get_parent`` in Listing 1.
+        """
+        return self._proc.parent
+
+    # -- point to point -----------------------------------------------------
+    def send(self, dest: int, value: Any, tag: int = 0, comm: Any = None) -> Send:
+        return Send(dest=dest, value=value, tag=tag, comm=comm)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG, comm: Any = None) -> Recv:
+        return Recv(source=source, tag=tag, comm=comm)
+
+    def isend(self, dest: int, value: Any, tag: int = 0, comm: Any = None) -> Isend:
+        return Isend(dest=dest, value=value, tag=tag, comm=comm)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG, comm: Any = None) -> Irecv:
+        return Irecv(source=source, tag=tag, comm=comm)
+
+    def waitall(self, requests) -> Waitall:
+        return Waitall(requests)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG, comm: Any = None) -> Probe:
+        return Probe(source=source, tag=tag, comm=comm)
+
+    def sendrecv(
+        self,
+        dest: int,
+        value: Any,
+        source: int = ANY_SOURCE,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+        comm: Any = None,
+    ) -> Sendrecv:
+        return Sendrecv(
+            dest=dest, value=value, source=source,
+            sendtag=sendtag, recvtag=recvtag, comm=comm,
+        )
+
+    def reduce(self, value: Any, root: int = 0, op: Any = "sum", comm: Any = None) -> Collective:
+        """Rooted reduction (MPI_Reduce): only ``root`` gets the result."""
+        reducer = REDUCE_OPS[op] if isinstance(op, str) else op
+        return Collective(kind="reduce", value=value, root=root, reduce_op=reducer, comm=comm)
+
+    # -- collectives ----------------------------------------------------------
+    def barrier(self, comm: Any = None) -> Collective:
+        return Collective(kind="barrier", comm=comm)
+
+    def bcast(self, value: Any = None, root: int = 0, comm: Any = None) -> Collective:
+        return Collective(kind="bcast", value=value, root=root, comm=comm)
+
+    def scatter(self, values: Any = None, root: int = 0, comm: Any = None) -> Collective:
+        return Collective(kind="scatter", value=values, root=root, comm=comm)
+
+    def gather(self, value: Any, root: int = 0, comm: Any = None) -> Collective:
+        return Collective(kind="gather", value=value, root=root, comm=comm)
+
+    def allgather(self, value: Any, comm: Any = None) -> Collective:
+        return Collective(kind="allgather", value=value, comm=comm)
+
+    def allreduce(self, value: Any, op: Any = "sum", comm: Any = None) -> Collective:
+        reducer = REDUCE_OPS[op] if isinstance(op, str) else op
+        return Collective(kind="allreduce", value=value, reduce_op=reducer, comm=comm)
+
+    def alltoall(self, values: List[Any], comm: Any = None) -> Collective:
+        return Collective(kind="alltoall", value=values, comm=comm)
+
+    # -- dynamic processes -------------------------------------------------------
+    def spawn(self, nprocs: int, target: Callable, *args: Any) -> Spawn:
+        """Collective over the world: every rank must yield the same spawn."""
+        return Spawn(nprocs=nprocs, target=target, args=tuple(args))
+
+    def exit(self, result: Any = None) -> Exit:
+        return Exit(result=result)
+
+
+class MPIExecutor:
+    """Owns all processes (including spawned generations) and runs them."""
+
+    def __init__(self, max_ops: int = 10_000_000) -> None:
+        self.max_ops = max_ops
+        self._procs: Dict[int, _Proc] = {}
+        self._proc_ids = count(0)
+        #: Collective rendezvous: comm cid -> {proc_id: op}.
+        self._pending_collectives: Dict[int, Dict[int, Collective]] = {}
+        #: Spawn rendezvous: comm cid -> {proc_id: op}.
+        self._pending_spawns: Dict[int, Dict[int, Spawn]] = {}
+        self._worlds: List[Communicator] = []
+
+    # -- world creation -------------------------------------------------------
+    def create_world(
+        self,
+        nprocs: int,
+        target: Callable,
+        args: Tuple = (),
+        parent: Optional[Intercommunicator] = None,
+        name: str = "world",
+    ) -> Communicator:
+        if nprocs < 1:
+            raise MPIError(f"need at least one process, got {nprocs}")
+        proc_ids = tuple(next(self._proc_ids) for _ in range(nprocs))
+        world = Communicator(proc_ids, name=f"{name}[{proc_ids[0]}..{proc_ids[-1]}]")
+        self._worlds.append(world)
+        for pid in proc_ids:
+            proc = _Proc(proc_id=pid, generator=None, world=world, parent=parent)
+            ctx = RankContext(proc)
+            gen = target(ctx, *args)
+            if not hasattr(gen, "send"):
+                raise MPIError(
+                    f"rank function {target!r} must be a generator (got {gen!r})"
+                )
+            proc.generator = gen
+            self._procs[pid] = proc
+        return world
+
+    # -- execution ----------------------------------------------------------------
+    def run(self) -> Dict[int, Any]:
+        """Run every process to completion; returns {proc_id: result}."""
+        ops_budget = self.max_ops
+        while True:
+            live = [p for p in self._procs.values() if p.state is not ProcState.DONE]
+            if not live:
+                break
+            progressed = False
+            for proc in live:
+                if proc.state is ProcState.READY:
+                    self._advance(proc)
+                    progressed = True
+                    ops_budget -= 1
+                elif proc.state is ProcState.BLOCKED:
+                    if self._try_unblock(proc):
+                        progressed = True
+                if ops_budget <= 0:
+                    raise MPIError(f"exceeded max_ops={self.max_ops}; runaway ranks?")
+            if not progressed:
+                self._raise_deadlock()
+        return {pid: p.result for pid, p in self._procs.items()}
+
+    def world_results(self, world: Communicator) -> List[Any]:
+        """Results of a world's ranks, in rank order."""
+        return [self._procs[pid].result for pid in world.procs]
+
+    # -- generator stepping -----------------------------------------------------
+    def _advance(self, proc: _Proc) -> None:
+        """Resume the generator once and dispatch the op it yields."""
+        try:
+            op = proc.generator.send(proc.inbox_value)
+        except StopIteration as stop:
+            proc.state = ProcState.DONE
+            proc.result = stop.value
+            return
+        proc.inbox_value = None
+        self._dispatch(proc, op)
+
+    def _dispatch(self, proc: _Proc, op: Any) -> None:
+        if isinstance(op, Send):
+            self._do_send(proc, op)
+            proc.inbox_value = None  # sends complete eagerly
+        elif isinstance(op, Isend):
+            self._do_send(proc, Send(op.dest, op.value, op.tag, op.comm))
+            request = Request(op)
+            request.complete(None)
+            proc.inbox_value = request
+        elif isinstance(op, Irecv):
+            proc.inbox_value = Request(op)  # matched lazily at wait time
+        elif isinstance(op, Waitall):
+            if self._try_waitall(proc, op):
+                proc.inbox_value = [r.value for r in op.requests]
+            else:
+                proc.state = ProcState.BLOCKED
+                proc.blocked_on = op
+        elif isinstance(op, Sendrecv):
+            self._do_send(proc, Send(op.dest, op.value, op.sendtag, op.comm))
+            recv_part = Recv(source=op.source, tag=op.recvtag, comm=op.comm)
+            matched = self._match_recv(proc, recv_part)
+            if matched is not None:
+                proc.inbox_value = matched.value
+            else:
+                proc.state = ProcState.BLOCKED
+                proc.blocked_on = recv_part
+        elif isinstance(op, Recv):
+            matched = self._match_recv(proc, op)
+            if matched is not None:
+                proc.inbox_value = matched.value
+            else:
+                proc.state = ProcState.BLOCKED
+                proc.blocked_on = op
+        elif isinstance(op, Probe):
+            proc.inbox_value = self._match_recv(proc, op, consume=False) is not None
+        elif isinstance(op, Collective):
+            self._join_collective(proc, op)
+        elif isinstance(op, Spawn):
+            self._join_spawn(proc, op)
+        elif isinstance(op, Exit):
+            proc.state = ProcState.DONE
+            proc.result = op.result
+        else:
+            raise MPIError(f"rank yielded a non-operation: {op!r}")
+
+    def _try_unblock(self, proc: _Proc) -> bool:
+        op = proc.blocked_on
+        if isinstance(op, Recv):
+            matched = self._match_recv(proc, op)
+            if matched is not None:
+                proc.state = ProcState.READY
+                proc.blocked_on = None
+                proc.inbox_value = matched.value
+                return True
+        elif isinstance(op, Waitall):
+            if self._try_waitall(proc, op):
+                proc.state = ProcState.READY
+                proc.blocked_on = None
+                proc.inbox_value = [r.value for r in op.requests]
+                return True
+        # Collective/spawn participants are resumed by the completing call.
+        return False
+
+    def _try_waitall(self, proc: _Proc, op: Waitall) -> bool:
+        """Attempt to complete every request; True when all are done."""
+        for request in op.requests:
+            if request.done:
+                continue
+            if not isinstance(request.op, Irecv):
+                raise MPIError(f"cannot wait on {request.op!r}")
+            matched = self._match_recv(proc, request.op)
+            if matched is not None:
+                request.complete(matched.value)
+        return all(r.done for r in op.requests)
+
+    # -- point-to-point plumbing ----------------------------------------------------
+    def _resolve_comm(self, proc: _Proc, op_comm: Any) -> Any:
+        return proc.world if op_comm is None else op_comm
+
+    def _peer_proc(self, proc: _Proc, comm: Any, rank: int) -> int:
+        if isinstance(comm, Intercommunicator):
+            return comm.peer_group(proc.proc_id).proc_at(rank)
+        return comm.proc_at(rank)
+
+    def _do_send(self, proc: _Proc, op: Send) -> None:
+        comm = self._resolve_comm(proc, op.comm)
+        if getattr(comm, "freed", False):
+            raise MPIError(f"send on freed communicator {comm!r}")
+        dest_proc = self._peer_proc(proc, comm, op.dest)
+        if dest_proc not in self._procs:
+            raise MPIError(f"send to unknown process {dest_proc}")
+        if self._procs[dest_proc].state is ProcState.DONE:
+            raise MPIError(
+                f"proc {proc.proc_id} sent to finished proc {dest_proc}"
+            )
+        cid = comm.cid
+        self._procs[dest_proc].mailbox.append(
+            _Message(src_proc=proc.proc_id, tag=op.tag, comm_cid=cid, value=op.value)
+        )
+
+    def _match_recv(
+        self, proc: _Proc, op: Any, consume: bool = True
+    ) -> Optional[_Message]:
+        comm = self._resolve_comm(proc, op.comm)
+        cid = comm.cid
+        want_src: Optional[int] = None
+        if op.source != ANY_SOURCE:
+            want_src = self._peer_proc(proc, comm, op.source)
+        for msg in proc.mailbox:
+            if msg.comm_cid != cid:
+                continue
+            if want_src is not None and msg.src_proc != want_src:
+                continue
+            if op.tag != ANY_TAG and msg.tag != op.tag:
+                continue
+            if consume:
+                proc.mailbox.remove(msg)
+            return msg
+        return None
+
+    # -- collectives --------------------------------------------------------------
+    def _collective_comm(self, proc: _Proc, op: Collective) -> Communicator:
+        comm = self._resolve_comm(proc, op.comm)
+        if isinstance(comm, Intercommunicator):
+            raise MPIError("collectives over intercommunicators are not supported")
+        return comm
+
+    def _join_collective(self, proc: _Proc, op: Collective) -> None:
+        comm = self._collective_comm(proc, op)
+        pending = self._pending_collectives.setdefault(comm.cid, {})
+        if proc.proc_id in pending:
+            raise MPIError(
+                f"proc {proc.proc_id} re-entered a collective it already joined"
+            )
+        pending[proc.proc_id] = op
+        proc.state = ProcState.BLOCKED
+        proc.blocked_on = op
+        if len(pending) == comm.size:
+            self._complete_collective(comm, pending)
+            del self._pending_collectives[comm.cid]
+
+    def _complete_collective(
+        self, comm: Communicator, pending: Dict[int, Collective]
+    ) -> None:
+        kinds = {op.kind for op in pending.values()}
+        if len(kinds) != 1:
+            raise MPIError(
+                f"mismatched collectives on {comm.name}: {sorted(kinds)}"
+            )
+        kind = kinds.pop()
+        by_rank = [pending[comm.proc_at(r)] for r in range(comm.size)]
+        results: List[Any]
+
+        if kind == "barrier":
+            results = [None] * comm.size
+        elif kind == "bcast":
+            roots = {op.root for op in by_rank}
+            if len(roots) != 1:
+                raise MPIError(f"bcast with mismatched roots {sorted(roots)}")
+            value = by_rank[by_rank[0].root].value
+            results = [value] * comm.size
+        elif kind == "scatter":
+            root = by_rank[0].root
+            values = by_rank[root].value
+            if values is None or len(values) != comm.size:
+                raise MPIError(
+                    f"scatter root must supply {comm.size} values, got {values!r}"
+                )
+            results = list(values)
+        elif kind == "gather":
+            root = by_rank[0].root
+            gathered = [op.value for op in by_rank]
+            results = [gathered if r == root else None for r in range(comm.size)]
+        elif kind == "allgather":
+            gathered = [op.value for op in by_rank]
+            results = [list(gathered) for _ in range(comm.size)]
+        elif kind == "allreduce":
+            reduced = reduce(by_rank[0].reduce_op, [op.value for op in by_rank])
+            results = [reduced] * comm.size
+        elif kind == "reduce":
+            root = by_rank[0].root
+            reduced = reduce(by_rank[root].reduce_op, [op.value for op in by_rank])
+            results = [reduced if r == root else None for r in range(comm.size)]
+        elif kind == "alltoall":
+            for op in by_rank:
+                if op.value is None or len(op.value) != comm.size:
+                    raise MPIError(
+                        f"alltoall needs {comm.size} values per rank"
+                    )
+            results = [
+                [by_rank[src].value[dst] for src in range(comm.size)]
+                for dst in range(comm.size)
+            ]
+        else:
+            raise MPIError(f"unknown collective kind {kind!r}")
+
+        for r in range(comm.size):
+            peer = self._procs[comm.proc_at(r)]
+            peer.state = ProcState.READY
+            peer.blocked_on = None
+            peer.inbox_value = results[r]
+
+    # -- spawn ---------------------------------------------------------------------
+    def _join_spawn(self, proc: _Proc, op: Spawn) -> None:
+        comm = proc.world
+        pending = self._pending_spawns.setdefault(comm.cid, {})
+        if proc.proc_id in pending:
+            raise MPIError(f"proc {proc.proc_id} re-entered spawn")
+        pending[proc.proc_id] = op
+        proc.state = ProcState.BLOCKED
+        proc.blocked_on = op
+        if len(pending) == comm.size:
+            self._complete_spawn(comm, pending)
+            del self._pending_spawns[comm.cid]
+
+    def _complete_spawn(self, comm: Communicator, pending: Dict[int, Spawn]) -> None:
+        signatures = {(op.nprocs, op.target) for op in pending.values()}
+        if len(signatures) != 1:
+            raise MPIError(
+                f"ranks of {comm.name} disagree on the spawn "
+                f"(nprocs/target must match)"
+            )
+        nprocs, target = signatures.pop()
+        args = pending[comm.proc_at(0)].args
+        # Build children first so the intercommunicator can reference them.
+        child_world = self.create_world(
+            nprocs, target, args=args, parent=None, name="spawned"
+        )
+        intercomm = Intercommunicator(local=comm, remote=child_world)
+        for pid in child_world.procs:
+            self._procs[pid].parent = intercomm
+        for r in range(comm.size):
+            parent = self._procs[comm.proc_at(r)]
+            parent.state = ProcState.READY
+            parent.blocked_on = None
+            parent.inbox_value = intercomm
+
+    # -- diagnostics -----------------------------------------------------------------
+    def _raise_deadlock(self) -> None:
+        lines = []
+        for proc in self._procs.values():
+            if proc.state is ProcState.BLOCKED:
+                lines.append(
+                    f"  proc {proc.proc_id} ({proc.world.name}) "
+                    f"blocked on {proc.blocked_on!r}, "
+                    f"mailbox={len(proc.mailbox)} messages"
+                )
+        raise DeadlockError("MPI deadlock; blocked ranks:\n" + "\n".join(lines))
+
+
+def run_world(
+    nprocs: int, target: Callable, *args: Any, max_ops: int = 10_000_000
+) -> List[Any]:
+    """Convenience: run one world to completion, return rank results in order.
+
+    The spawned generations (if any) also run to completion; only the
+    initial world's results are returned.
+    """
+    executor = MPIExecutor(max_ops=max_ops)
+    world = executor.create_world(nprocs, target, args=tuple(args))
+    executor.run()
+    return executor.world_results(world)

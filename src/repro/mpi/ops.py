@@ -1,0 +1,145 @@
+"""Operation descriptors yielded by rank generators.
+
+Rank code on the in-process MPI substrate is written as generators that
+``yield`` operation descriptors; the executor matches them (point-to-point
+pairing, collective rendezvous, spawns) and resumes the generator with the
+operation's result — the same inversion of control the simulation kernel
+uses, applied to message passing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence, Tuple
+
+#: Wildcard source for receives (MPI_ANY_SOURCE).
+ANY_SOURCE = -1
+#: Wildcard tag for receives (MPI_ANY_TAG).
+ANY_TAG = -1
+
+
+class Op:
+    """Base class of all yieldable operations."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Send(Op):
+    """Eager (buffered) send: completes immediately."""
+
+    dest: int
+    value: Any
+    tag: int = 0
+    comm: Optional[object] = None  # None = the rank's current communicator
+
+
+@dataclass(frozen=True)
+class Recv(Op):
+    """Blocking receive; resumes with the matched payload."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    comm: Optional[object] = None
+
+
+@dataclass(frozen=True)
+class Sendrecv(Op):
+    """Combined send+receive (MPI_Sendrecv): deadlock-free exchanges."""
+
+    dest: int
+    value: Any
+    source: int = ANY_SOURCE
+    sendtag: int = 0
+    recvtag: int = ANY_TAG
+    comm: Optional[object] = None
+
+
+@dataclass(frozen=True)
+class Probe(Op):
+    """Non-blocking probe; resumes with True/False (message waiting?)."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    comm: Optional[object] = None
+
+
+class Request:
+    """Handle of a non-blocking operation (MPI_Request analogue)."""
+
+    __slots__ = ("done", "value", "op")
+
+    def __init__(self, op: "Op") -> None:
+        self.op = op
+        self.done = False
+        self.value: Any = None
+
+    def complete(self, value: Any = None) -> None:
+        self.done = True
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Request {'done' if self.done else 'pending'} {self.op!r}>"
+
+
+@dataclass(frozen=True)
+class Isend(Op):
+    """Non-blocking send; resumes immediately with a completed Request
+    (sends are eager/buffered on this substrate)."""
+
+    dest: int
+    value: Any
+    tag: int = 0
+    comm: Optional[object] = None
+
+
+@dataclass(frozen=True)
+class Irecv(Op):
+    """Non-blocking receive; resumes immediately with a Request that
+    completes when a matching message is waited on."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    comm: Optional[object] = None
+
+
+@dataclass(frozen=True)
+class Waitall(Op):
+    """Block until every request completes; resumes with their values
+    (``None`` for sends), in request order (MPI_Waitall)."""
+
+    requests: Tuple["Request", ...]
+
+    def __init__(self, requests) -> None:
+        object.__setattr__(self, "requests", tuple(requests))
+
+
+@dataclass(frozen=True)
+class Collective(Op):
+    """A collective rendezvous over a communicator."""
+
+    kind: str  # barrier | bcast | scatter | gather | allgather | allreduce | alltoall
+    value: Any = None
+    root: int = 0
+    reduce_op: Optional[Callable[[Any, Any], Any]] = None
+    comm: Optional[object] = None
+
+
+@dataclass(frozen=True)
+class Spawn(Op):
+    """``MPI_Comm_spawn``: create ``nprocs`` child ranks running ``target``.
+
+    Resumes with the intercommunicator to the children; children find the
+    parent intercommunicator via ``ctx.parent``.
+    """
+
+    nprocs: int
+    target: Callable[..., Any]
+    args: Tuple = ()
+
+
+@dataclass(frozen=True)
+class Exit(Op):
+    """Terminate this rank immediately (the ``exit(0)`` of Listing 1)."""
+
+    result: Any = None

@@ -1,0 +1,29 @@
+"""Nanos++ runtime substrate: job execution, DMR calls, redistribution."""
+
+from repro.runtime.nanos import NanosRuntime, RuntimeConfig, install_runtime_launcher
+from repro.runtime.offload import OFFLOAD_TAG, OffloadRegion, receive_offload
+from repro.runtime.redistribution import (
+    RedistributionPlan,
+    Transfer,
+    plan_block_remap,
+    plan_expand,
+    plan_migrate,
+    plan_shrink,
+    senders_and_receivers,
+)
+
+__all__ = [
+    "NanosRuntime",
+    "OFFLOAD_TAG",
+    "OffloadRegion",
+    "RedistributionPlan",
+    "RuntimeConfig",
+    "Transfer",
+    "install_runtime_launcher",
+    "receive_offload",
+    "plan_block_remap",
+    "plan_expand",
+    "plan_migrate",
+    "plan_shrink",
+    "senders_and_receivers",
+]

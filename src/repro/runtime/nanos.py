@@ -1,0 +1,300 @@
+"""The Nanos++ runtime model: drives a job's execution in virtual time.
+
+One :class:`NanosRuntime` instance exists per running job, exactly as one
+Nanos++ runtime instance exists per MPI job in the paper.  The runtime:
+
+* iterates the application model, charging step times from the app's
+  scalability curve;
+* exposes reconfiguring points at iteration boundaries, where it calls the
+  DMR logic (inhibitor + sync/async hand-off) and the RMS policy;
+* performs the resize actions — the Slurm expand/shrink protocol, the
+  ``MPI_Comm_spawn`` of the new process set, and the data redistribution
+  modeled through the Listing 3 transfer plans and the network model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.apps.base import AppModel
+from repro.cluster.configs import ClusterConfig
+from repro.core.actions import ResizeAction, ResizeDecision
+from repro.core.dmr import DMRSession
+from repro.core.handler import OffloadHandler
+from repro.errors import RuntimeAPIError
+from repro.metrics.trace import EventKind
+from repro.sim.events import Event
+from repro.slurm.controller import SlurmController
+from repro.slurm.job import Job, JobState
+from repro.slurm.resize import expand_protocol, shrink_protocol
+from repro.runtime.redistribution import (
+    plan_block_remap,
+    plan_expand,
+    plan_shrink,
+)
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Nanos++-level tunables."""
+
+    #: Blocking cost of a synchronous DMR call (runtime<->RMS round trip).
+    check_cost: float = 0.15
+    #: Use ``dmr_icheck_status`` semantics (decision applied one step late).
+    async_mode: bool = False
+    #: Base cost of gathering shrink ACKs at the management node, plus a
+    #: per-released-node term (synchronized workflow of Section V-B2).
+    ack_base: float = 0.05
+    ack_per_node: float = 0.01
+    #: Seconds to wait for a resizer job before aborting an expansion.
+    resizer_timeout: float = 30.0
+    #: Route synchronous checks through the explicit message protocol
+    #: (:mod:`repro.core.protocol`) instead of charging ``check_cost`` as
+    #: a flat block.  Same total round-trip cost; the decision is then
+    #: evaluated when the request *arrives* at the RMS (mid round trip).
+    use_protocol_channel: bool = False
+
+
+class NanosRuntime:
+    """Executes one (possibly malleable) job inside the simulation."""
+
+    def __init__(
+        self,
+        controller: SlurmController,
+        job: Job,
+        app: AppModel,
+        cluster: ClusterConfig,
+        config: Optional[RuntimeConfig] = None,
+    ) -> None:
+        if job.is_flexible and app.resize is None:
+            raise RuntimeAPIError(
+                f"flexible job {job.name!r} needs an app with resize parameters"
+            )
+        self.env = controller.env
+        self.controller = controller
+        self.job = job
+        self.app = app
+        self.cluster = cluster
+        self.config = config or RuntimeConfig()
+        self.session = DMRSession(
+            sched_period=app.sched_period,
+            async_mode=self.config.async_mode,
+            start_time=self.env.now,
+        )
+        if self.config.use_protocol_channel:
+            from repro.core.protocol import RMSChannel
+
+            self.channel: Optional["RMSChannel"] = RMSChannel(
+                controller, latency=self.config.check_cost / 2.0
+            )
+        else:
+            self.channel = None
+        #: Number of reconfigurations performed (for tests/metrics).
+        self.resize_count = 0
+        #: Number of DMR calls that reached the RMS.
+        self.check_count = 0
+
+    # -- the job process ---------------------------------------------------
+    def run(self) -> Generator[Event, object, None]:
+        """Simulation process executing the job to completion."""
+        from repro.sim.process import Interrupt
+
+        job, app = self.job, self.app
+        malleable = job.is_flexible and app.resize is not None
+
+        try:
+            while not app.finished:
+                if malleable:
+                    yield from self._reconfiguring_point()
+                steps = self._batch_steps()
+                yield self.env.timeout(steps * app.step_time(job.num_nodes))
+                app.advance(steps)
+        except Interrupt:
+            # Killed by the controller (time limit / cancellation): the
+            # job state was already settled by the killer.
+            return
+
+        self.controller.finish_job(job, JobState.COMPLETED)
+
+    def _batch_steps(self) -> int:
+        """How many iterations to run before the next reconfiguring point.
+
+        Iterations between two serviced DMR calls are indistinguishable in
+        virtual time (constant step cost, no interaction), so they are
+        coalesced into one timeout.  With an armed inhibitor this collapses
+        e.g. CG's 10000 iterations into one event per scheduling period
+        without changing any observable timing.
+        """
+        app, job = self.app, self.job
+        if not (job.is_flexible and app.resize is not None):
+            return app.remaining_steps
+        period = app.sched_period
+        if period <= 0:
+            return 1  # a reconfiguring point precedes every iteration
+        step = app.step_time(job.num_nodes)
+        until_next_check = self.session.inhibitor.last_check + period - self.env.now
+        if until_next_check <= 0:
+            return 1
+        import math
+
+        # Tolerance keeps the batched boundary identical to the per-step
+        # loop when until/step is an exact multiple up to fp rounding
+        # (see tests/runtime/test_batching.py).
+        ratio = until_next_check / step
+        steps = math.ceil(ratio - 1e-9 * max(1.0, ratio))
+        return max(1, min(app.remaining_steps, steps))
+
+    # -- reconfiguring point -------------------------------------------------
+    def _reconfiguring_point(self) -> Generator[Event, object, None]:
+        """One ``dmr_check_status``/``dmr_icheck_status`` call site."""
+        job = self.job
+        # Evolving applications may override the request at this step
+        # ("Request an Action" mode, Section IV-1).
+        request = self.app.request_at(self.app.completed_steps)
+        assert request is not None
+
+        if self.channel is not None and not self.config.async_mode:
+            # Explicit protocol: the inhibitor gates the call, then the
+            # full message exchange happens on the wire.
+            if not self.session.inhibitor.try_acquire(self.env.now):
+                return
+            self.check_count += 1
+            decision = yield from self.channel.check(job, request)
+            self.controller.trace.record(
+                self.env.now,
+                EventKind.DMR_CHECK,
+                job.job_id,
+                blocking=True,
+                applied=decision.action.value,
+            )
+        else:
+            outcome = self.session.check(
+                self.env.now,
+                decide=lambda: self.controller.check_status(job, request),
+            )
+            if outcome.inhibited:
+                return
+            self.check_count += 1
+            self.controller.trace.record(
+                self.env.now,
+                EventKind.DMR_CHECK,
+                job.job_id,
+                blocking=outcome.blocking,
+                applied=outcome.decision.action.value if outcome.decision else None,
+            )
+            if outcome.blocking:
+                # Synchronous mode pays the round trip on the critical path.
+                yield self.env.timeout(self.config.check_cost)
+            decision = outcome.decision
+        if decision is None or not decision:
+            return
+        if decision.action is ResizeAction.EXPAND:
+            yield from self._do_expand(decision)
+        elif decision.action is ResizeAction.SHRINK:
+            yield from self._do_shrink(decision)
+
+    # -- resize actions ----------------------------------------------------------
+    def _do_expand(
+        self, decision: ResizeDecision
+    ) -> Generator[Event, object, Optional[OffloadHandler]]:
+        job = self.job
+        old = job.num_nodes
+        target = decision.target_procs
+        if target <= old:
+            return None  # stale asynchronous decision already satisfied
+
+        nodes = yield from expand_protocol(
+            self.controller, job, target, timeout=self.config.resizer_timeout
+        )
+        if nodes is None:
+            return None  # aborted: resources went elsewhere meanwhile
+
+        new = job.num_nodes
+        # Spawn the new process set (MPI_Comm_spawn across the final
+        # node list) and redistribute the data dependencies.
+        yield self.env.timeout(self.cluster.spawn.spawn_time(new))
+        plan = (
+            plan_expand(old, new, self.app.state_bytes)
+            if new % old == 0
+            else plan_block_remap(old, new, self.app.state_bytes)
+        )
+        yield self.env.timeout(
+            self.cluster.network.redistribution_time(
+                plan.bytes_out, plan.bytes_in, messages=max(1, plan.message_count)
+            )
+        )
+        self.resize_count += 1
+        if self.channel is not None:
+            self.channel.notify_expand_complete(job, new)
+        return OffloadHandler(
+            action=ResizeAction.EXPAND,
+            old_procs=old,
+            new_procs=new,
+            nodes=nodes,
+            created_at=self.env.now,
+        )
+
+    def _do_shrink(
+        self, decision: ResizeDecision
+    ) -> Generator[Event, object, Optional[OffloadHandler]]:
+        job = self.job
+        old = job.num_nodes
+        target = decision.target_procs
+        if target >= old:
+            return None  # stale asynchronous decision already satisfied
+
+        # Quiesce: outgoing ranks finish their offloaded tasks and ACK to
+        # the management node before Slurm may reclaim their nodes.
+        releasing = old - target
+        yield self.env.timeout(
+            self.config.ack_base + self.config.ack_per_node * releasing
+        )
+        # Spawn the reduced process set and move the data: senders forward
+        # their blocks to group receivers (the network stage of Listing 3).
+        yield self.env.timeout(self.cluster.spawn.spawn_time(target))
+        plan = (
+            plan_shrink(old, target, self.app.state_bytes)
+            if old % target == 0
+            else plan_block_remap(old, target, self.app.state_bytes)
+        )
+        yield self.env.timeout(
+            self.cluster.network.redistribution_time(
+                plan.bytes_out, plan.bytes_in, messages=max(1, plan.message_count)
+            )
+        )
+        # Only now is it safe for Slurm to kill processes on released nodes.
+        released = shrink_protocol(self.controller, job, target)
+        self.resize_count += 1
+        if self.channel is not None:
+            self.channel.notify_shrink_acks(job, released)
+        return OffloadHandler(
+            action=ResizeAction.SHRINK,
+            old_procs=old,
+            new_procs=target,
+            nodes=self.controller.machine.nodes_of(job.job_id),
+            created_at=self.env.now,
+        )
+
+
+def install_runtime_launcher(
+    controller: SlurmController,
+    cluster: ClusterConfig,
+    config: Optional[RuntimeConfig] = None,
+) -> None:
+    """Hook the controller so each started job runs under a NanosRuntime.
+
+    Jobs must carry their :class:`AppModel` in ``job.payload``.
+    """
+
+    def launcher(job: Job) -> None:
+        app = job.payload
+        if not isinstance(app, AppModel):
+            raise RuntimeAPIError(
+                f"job {job.name!r} payload is not an AppModel: {app!r}"
+            )
+        runtime = NanosRuntime(controller, job, app, cluster, config)
+        process = controller.env.process(runtime.run(), name=f"job-{job.job_id}")
+        controller.register_job_process(job, process)
+
+    controller.launcher = launcher

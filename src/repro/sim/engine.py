@@ -1,0 +1,139 @@
+"""The discrete-event simulation engine.
+
+:class:`Environment` owns the simulation clock and the pending-event heap.
+Events scheduled at the same timestamp are processed in (priority, insertion
+order), which makes every simulation fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, NORMAL, Timeout
+from repro.sim.process import Process
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class StopSimulation(Exception):
+    """Internal control-flow exception that ends :meth:`Environment.run`."""
+
+
+class Environment:
+    """A deterministic discrete-event simulation environment."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- scheduling --------------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Enqueue a triggered event ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next event, advancing the clock."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no scheduled events") from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:  # pragma: no cover - double-processing guard
+            raise SimulationError(f"{event!r} processed twice")
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # Nobody handled the failure: crash the simulation loudly.
+            exc = event._value
+            raise exc
+
+    # -- running -------------------------------------------------------------
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the schedule drains), a number
+        (run up to that simulation time), or an :class:`Event` (run until it
+        is processed; its value is returned).
+        """
+        stop: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop = until
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise SimulationError(
+                        f"until={at} lies in the past (now={self._now})"
+                    )
+                stop = Timeout(self, at - self._now)
+
+            def _halt(event: Event) -> None:
+                raise StopSimulation(event)
+
+            if stop.callbacks is None:
+                return stop.value if stop.ok else None
+            stop.callbacks.append(_halt)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as marker:
+            ev: Event = marker.args[0]
+            if not ev.ok:
+                raise ev.value
+            return ev.value
+        except EmptySchedule:
+            if stop is not None and not stop.triggered:
+                raise SimulationError(
+                    "simulation ran out of events before the 'until' condition"
+                ) from None
+            return None
+
+    # -- factories -----------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` time units."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when any of ``events`` has fired."""
+        return AnyOf(self, events)

@@ -1,0 +1,155 @@
+"""Generator-based simulation processes.
+
+A process wraps a Python generator.  The generator ``yield``\\ s
+:class:`~repro.sim.events.Event` instances; the process suspends until the
+event is processed and the event's value is sent back into the generator
+(or its exception is thrown into it).  A process is itself an event that
+fires when the generator terminates, carrying its return value.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, NORMAL, PENDING, URGENT
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another entity interrupted.
+
+    The interrupt ``cause`` is available as ``exc.cause``.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+
+class InterruptEvent(Event):
+    """Internal urgent event used to deliver an interrupt to a process."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, process: "Process", cause: Any) -> None:
+        # Bypass Event.__init__ triggering rules: interrupts are born failed.
+        super().__init__(process.env)
+        self.process = process
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+        self.callbacks = [process._resume_interrupt]
+        self.env.schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A running process; also an event that fires on termination."""
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process currently waits on (None when terminated
+        #: or just scheduled to start).
+        self._target: Optional[Event] = None
+        # Kick-start the process at the current time via an initializer event.
+        init = Event(env)
+        init.callbacks.append(self._resume)
+        init._ok = True
+        init._value = None
+        env.schedule(init, priority=URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the wrapped generator has not exited."""
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting for."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        InterruptEvent(self, cause)
+
+    # -- resumption -----------------------------------------------------
+    def _resume_interrupt(self, event: InterruptEvent) -> None:
+        if not self.is_alive:  # terminated before the interrupt fired
+            return
+        # Unsubscribe from the event we were waiting on: the interrupt wins.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        self._resume(event)
+
+    def _resume(self, event: Event) -> None:
+        env = self.env
+        env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as exc:
+                env._active_process = None
+                self._ok = True
+                self._value = exc.value
+                env.schedule(self, priority=NORMAL)
+                return
+            except BaseException as exc:
+                env._active_process = None
+                self._ok = False
+                self._value = exc
+                env.schedule(self, priority=NORMAL)
+                return
+
+            if not isinstance(next_event, Event):
+                env._active_process = None
+                err = SimulationError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+                # Crash the process with a helpful error.
+                try:
+                    self._generator.throw(err)
+                except StopIteration as exc:
+                    self._ok = True
+                    self._value = exc.value
+                except BaseException as exc:
+                    self._ok = False
+                    self._value = exc
+                env.schedule(self, priority=NORMAL)
+                return
+
+            if next_event.callbacks is None:
+                # Already processed: loop immediately with its value.
+                event = next_event
+                continue
+
+            self._target = next_event
+            next_event.callbacks.append(self._resume)
+            break
+        env._active_process = None
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"

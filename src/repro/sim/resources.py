@@ -1,0 +1,104 @@
+"""Waitable resources built on top of the event kernel.
+
+:class:`Store` is an unbounded FIFO channel (used for runtime↔RMS message
+passing), and :class:`Resource` is a counted semaphore with FIFO fairness
+(used e.g. to model a shared filesystem's bounded concurrency).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+class Store:
+    """Unbounded FIFO store of items with blocking ``get``."""
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of queued items (oldest first)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest waiting getter, if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next available item."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Any:
+        """Non-blocking get; returns None when empty."""
+        return self._items.popleft() if self._items else None
+
+
+class Resource:
+    """Counted resource with FIFO request queue.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        try:
+            ...critical section...
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Event that fires once a slot is granted to the caller."""
+        event = Event(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Give a slot back, handing it to the oldest waiter if present."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without matching request()")
+        if self._waiters:
+            # Hand the slot over without decrementing the busy count.
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1

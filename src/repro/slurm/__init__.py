@@ -1,0 +1,45 @@
+"""Slurm workload-manager substrate.
+
+Implements the pieces of Slurm the paper relies on: the pending queue with
+multifactor priorities, EASY backfill, job lifecycle management, the
+node-resize protocol (Section III) and the reconfiguration policy plug-in
+(Section IV, Algorithm 1).
+"""
+
+from repro.slurm.accounting import Accounting, JobRecord
+from repro.slurm.api import SlurmAPI
+from repro.slurm.backfill import Reservation, compute_shadow, plan_backfill
+from repro.slurm.controller import SlurmConfig, SlurmController
+from repro.slurm.job import (
+    Job,
+    JobClass,
+    JobState,
+    TERMINAL_STATES,
+    make_resizer,
+)
+from repro.slurm.priority import MultifactorConfig, MultifactorPriority
+from repro.slurm.reconfig import PolicyConfig, PolicyView, ReconfigurationPolicy
+from repro.slurm.resize import expand_protocol, shrink_protocol
+
+__all__ = [
+    "Accounting",
+    "Job",
+    "JobRecord",
+    "JobClass",
+    "JobState",
+    "MultifactorConfig",
+    "MultifactorPriority",
+    "PolicyConfig",
+    "PolicyView",
+    "ReconfigurationPolicy",
+    "Reservation",
+    "SlurmAPI",
+    "SlurmConfig",
+    "SlurmController",
+    "TERMINAL_STATES",
+    "compute_shadow",
+    "expand_protocol",
+    "make_resizer",
+    "plan_backfill",
+    "shrink_protocol",
+]

@@ -1,0 +1,126 @@
+"""Job accounting (the ``sacct`` analogue).
+
+Builds per-job records and aggregate statistics from finished jobs —
+what a site administrator would query to evaluate the adaptive-workload
+deployment the paper proposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.metrics.report import format_table
+from repro.slurm.job import Job, JobState
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One accounting row."""
+
+    job_id: int
+    name: str
+    job_class: str
+    state: str
+    submit_time: float
+    start_time: Optional[float]
+    end_time: Optional[float]
+    submitted_nodes: int
+    final_nodes: int
+    resize_count: int
+    wait_time: Optional[float]
+    elapsed: Optional[float]
+    #: Node-seconds actually allocated over the job's lifetime.
+    node_seconds: float
+
+    @staticmethod
+    def from_job(job: Job) -> "JobRecord":
+        wait = elapsed = None
+        if job.start_time is not None:
+            wait = job.start_time - (job.submit_time or 0.0)
+            if job.end_time is not None:
+                elapsed = job.end_time - job.start_time
+        return JobRecord(
+            job_id=job.job_id,
+            name=job.name,
+            job_class=job.job_class.value,
+            state=job.state.value,
+            submit_time=job.submit_time if job.submit_time is not None else 0.0,
+            start_time=job.start_time,
+            end_time=job.end_time,
+            submitted_nodes=job.submitted_nodes,
+            final_nodes=job.num_nodes,
+            resize_count=len(job.resizes),
+            wait_time=wait,
+            elapsed=elapsed,
+            node_seconds=_node_seconds(job),
+        )
+
+
+def _node_seconds(job: Job) -> float:
+    """Integrate allocated nodes over the job's run, honouring resizes."""
+    if job.start_time is None or job.end_time is None:
+        return 0.0
+    total = 0.0
+    t, size = job.start_time, job.submitted_nodes
+    for when, old, new in job.resizes:
+        total += old * (when - t)
+        t, size = when, new
+    total += size * (job.end_time - t)
+    return total
+
+
+class Accounting:
+    """Aggregates job records into site-level statistics."""
+
+    def __init__(self, jobs: Sequence[Job], include_resizers: bool = False) -> None:
+        self.records: List[JobRecord] = [
+            JobRecord.from_job(j)
+            for j in jobs
+            if include_resizers or not j.is_resizer
+        ]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def completed(self) -> List[JobRecord]:
+        return [r for r in self.records if r.state == JobState.COMPLETED.value]
+
+    def by_state(self, state: JobState) -> List[JobRecord]:
+        return [r for r in self.records if r.state == state.value]
+
+    def total_node_seconds(self) -> float:
+        return sum(r.node_seconds for r in self.records)
+
+    def total_resizes(self) -> int:
+        return sum(r.resize_count for r in self.records)
+
+    def mean_wait(self) -> float:
+        waits = [r.wait_time for r in self.records if r.wait_time is not None]
+        return sum(waits) / len(waits) if waits else 0.0
+
+    def sacct_table(self) -> str:
+        """Render an ``sacct``-style listing."""
+        rows = [
+            [
+                r.job_id,
+                r.name,
+                r.job_class,
+                r.state,
+                f"{r.submit_time:.0f}",
+                "-" if r.start_time is None else f"{r.start_time:.0f}",
+                "-" if r.end_time is None else f"{r.end_time:.0f}",
+                f"{r.submitted_nodes}->{r.final_nodes}",
+                r.resize_count,
+                f"{r.node_seconds:.0f}",
+            ]
+            for r in sorted(self.records, key=lambda r: r.job_id)
+        ]
+        return format_table(
+            [
+                "jobid", "name", "class", "state", "submit", "start",
+                "end", "nodes", "resizes", "node-sec",
+            ],
+            rows,
+            title="sacct",
+        )

@@ -1,0 +1,110 @@
+"""The Slurm external API surface used by the runtime (Section III).
+
+The paper's methodology builds job resizing out of four stock Slurm
+operations, exposed here exactly as enumerated:
+
+Expanding job A by N_B nodes:
+
+1. :meth:`SlurmAPI.submit_dependent` — submit job B requesting N_B nodes
+   with a dependency on A (and maximum priority);
+2. :meth:`SlurmAPI.update_job_to_zero_nodes` — update B to 0 nodes,
+   producing a set of allocated nodes not attached to any job;
+3. :meth:`SlurmAPI.cancel` — cancel B;
+4. :meth:`SlurmAPI.update_job_nodes` — update A to N_A + N_B nodes.
+
+Shrinking job A is a single :meth:`SlurmAPI.update_job_nodes` call to the
+smaller size.  :meth:`SlurmAPI.check_status` is the extension entry point
+the reconfiguration plug-in answers (Section IV).
+
+:mod:`repro.slurm.resize` drives these steps with the waiting/abort logic
+of Section V-B; this facade exists so the protocol is testable one step
+at a time, like the real ``scontrol``/``sbatch``/``scancel`` calls.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.actions import ResizeDecision, ResizeRequest
+from repro.errors import SchedulerError
+from repro.slurm.controller import SlurmController
+from repro.slurm.job import Job, JobState, make_resizer
+
+
+class SlurmAPI:
+    """Facade over the controller mirroring Slurm's external API."""
+
+    def __init__(self, controller: SlurmController) -> None:
+        self.controller = controller
+
+    # -- squeue-style introspection ----------------------------------------
+    def squeue(self) -> List[Job]:
+        """Pending jobs in scheduling order (like ``squeue --sort=-p``)."""
+        return self.controller.pending_jobs()
+
+    def running(self) -> List[Job]:
+        return self.controller.running_jobs()
+
+    def job_nodelist(self, job: Job) -> Tuple[str, ...]:
+        """The job's node list (``scontrol show job``'s NodeList)."""
+        return self.controller.machine.hostnames_of(job.job_id)
+
+    # -- sbatch / scancel -----------------------------------------------------
+    def submit(self, job: Job) -> Job:
+        return self.controller.submit(job)
+
+    def submit_dependent(
+        self, parent: Job, extra_nodes: int, max_priority: bool = True
+    ) -> Job:
+        """Step 1: submit the resizer job B (dependency on A)."""
+        resizer = make_resizer(parent, extra_nodes)
+        if not max_priority:
+            resizer.priority_boost = 0.0
+        return self.controller.submit(resizer)
+
+    def cancel(self, job: Job) -> None:
+        """``scancel``: step 3 of the expansion (and general cancellation)."""
+        self.controller.cancel_job(job)
+
+    # -- scontrol update ----------------------------------------------------------
+    def update_job_to_zero_nodes(self, job: Job) -> Tuple[int, ...]:
+        """Step 2: detach a running job's whole allocation.
+
+        Returns the now-unattached node set ("a set of N_B allocated
+        nodes which are not attached to any job").
+        """
+        return self.controller.detach_all_nodes(job)
+
+    def update_job_nodes(
+        self, job: Job, num_nodes: int, attach: Optional[Tuple[int, ...]] = None
+    ) -> Tuple[int, ...]:
+        """``scontrol update JobId=A NumNodes=N``: grow or shrink job A.
+
+        Growing requires the explicit node set detached in step 2
+        (``attach``); shrinking releases the highest-numbered nodes.
+        Returns the job's node set after the update.
+        """
+        current = job.num_nodes
+        if num_nodes == current:
+            return self.controller.machine.nodes_of(job.job_id)
+        if num_nodes > current:
+            if attach is None or len(attach) != num_nodes - current:
+                raise SchedulerError(
+                    f"growing {current} -> {num_nodes} needs exactly "
+                    f"{num_nodes - current} detached nodes"
+                )
+            self.controller.grow_job(job, attach)
+        else:
+            self.controller.shrink_job(job, num_nodes)
+        return self.controller.machine.nodes_of(job.job_id)
+
+    def update_time_limit(self, job: Job, time_limit: float) -> None:
+        """``scontrol update JobId=A TimeLimit=...``."""
+        if time_limit <= 0:
+            raise SchedulerError(f"time limit must be positive, got {time_limit}")
+        job.time_limit = time_limit
+
+    # -- the reconfiguration plug-in entry point ---------------------------------
+    def check_status(self, job: Job, request: ResizeRequest) -> ResizeDecision:
+        """Ask the resource-selection plug-in for the resize decision."""
+        return self.controller.check_status(job, request)

@@ -1,0 +1,433 @@
+"""The ``slurmctld`` analogue: queueing, dispatch, resize bookkeeping.
+
+The controller is event-driven: every submission, completion, cancellation
+and shrink triggers a scheduling pass (priority sort + EASY backfill).
+Running jobs are *driven from outside* — the Nanos++ runtime model (or a
+test) executes the job and calls :meth:`SlurmController.finish_job` when it
+completes, mirroring how real Slurm learns about job termination from the
+node daemons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cluster.machine import Machine
+from repro.core.actions import (
+    DecisionReason,
+    ResizeAction,
+    ResizeDecision,
+    ResizeRequest,
+)
+from repro.errors import SchedulerError
+from repro.metrics.trace import EventKind, Trace
+from repro.sim.engine import Environment
+from repro.sim.events import Event
+from repro.slurm.backfill import plan_backfill
+from repro.slurm.job import Job, JobState, TERMINAL_STATES
+from repro.slurm.priority import MultifactorConfig, MultifactorPriority
+from repro.slurm.reconfig import PolicyConfig, PolicyView, ReconfigurationPolicy
+
+
+@dataclass(frozen=True)
+class SlurmConfig:
+    """Controller tunables (defaults mirror the paper's Slurm setup)."""
+
+    priority: MultifactorConfig = field(default_factory=MultifactorConfig)
+    policy: PolicyConfig = field(default_factory=PolicyConfig)
+    #: Seconds an expansion waits for its resizer job before aborting
+    #: (Section V-B: "If the waiting time reaches a threshold, RJ is
+    #: canceled and the action is aborted").
+    resizer_timeout: float = 30.0
+    #: One-way latency of a runtime<->RMS API call.
+    rpc_latency: float = 0.05
+    #: Period of the backfill scheduler thread (Slurm's bf_interval).
+    #: Event-driven passes are FIFO-only, exactly as in Slurm, where
+    #: sched/backfill only runs periodically.
+    backfill_interval: float = 30.0
+    #: Kill jobs that exceed their walltime limit (Slurm's default
+    #: behaviour; off by default here because the paper's workloads are
+    #: well-behaved and malleable jobs rescale their limits on resize).
+    enforce_time_limits: bool = False
+
+
+class SlurmController:
+    """Workload manager: pending queue, running set, resize operations."""
+
+    def __init__(
+        self,
+        env: Environment,
+        machine: Machine,
+        config: Optional[SlurmConfig] = None,
+        trace: Optional[Trace] = None,
+    ) -> None:
+        self.env = env
+        self.machine = machine
+        self.config = config or SlurmConfig()
+        self.trace = trace if trace is not None else Trace()
+        self.priority_engine = MultifactorPriority(
+            self.config.priority, machine.num_nodes
+        )
+        self.policy = ReconfigurationPolicy(self.config.policy)
+
+        self._ids = count(1)
+        self.pending: Dict[int, Job] = {}
+        self.running: Dict[int, Job] = {}
+        self.finished: List[Job] = []
+        #: Called with each newly started (non-resizer) job; the runtime
+        #: layer installs a hook here that launches the job's execution.
+        self.launcher: Optional[Callable[[Job], None]] = None
+        self._start_events: Dict[int, Event] = {}
+        #: Simulation process executing each running job (registered by
+        #: the runtime layer; used to deliver time-limit kills).
+        self.job_processes: Dict[int, object] = {}
+        self._pass_scheduled = False
+        self._backfill_thread_alive = False
+
+        machine.subscribe(self._on_alloc_change)
+
+    # -- machine observer --------------------------------------------------
+    def _on_alloc_change(self, used: int) -> None:
+        self.trace.record(
+            self.env.now, EventKind.ALLOC_CHANGE, nodes_used=used,
+            nodes_total=self.machine.num_nodes,
+        )
+
+    # -- queue introspection -------------------------------------------------
+    def pending_jobs(self, include_resizers: bool = True) -> List[Job]:
+        """Pending queue in multifactor priority order."""
+        jobs = [
+            j
+            for j in self.pending.values()
+            if include_resizers or not j.is_resizer
+        ]
+        return self.priority_engine.sort_queue(jobs, self.env.now)
+
+    def running_jobs(self) -> List[Job]:
+        return list(self.running.values())
+
+    def all_done(self) -> bool:
+        """True when nothing is pending or running."""
+        return not self.pending and not self.running
+
+    def get_job(self, job_id: int) -> Job:
+        for pool in (self.pending, self.running):
+            if job_id in pool:
+                return pool[job_id]
+        for job in self.finished:
+            if job.job_id == job_id:
+                return job
+        raise SchedulerError(f"unknown job id {job_id}")
+
+    # -- submission / completion ------------------------------------------------
+    def submit(self, job: Job) -> Job:
+        """Enqueue a job; assigns its id and submit time."""
+        if job.job_id != -1:
+            raise SchedulerError(f"job {job.job_id} was already submitted")
+        job.job_id = next(self._ids)
+        job.submit_time = self.env.now
+        self.pending[job.job_id] = job
+        self._start_events[job.job_id] = Event(self.env)
+        self.trace.record(
+            self.env.now,
+            EventKind.JOB_SUBMIT,
+            job.job_id,
+            name=job.name,
+            nodes=job.num_nodes,
+            flexible=job.is_flexible,
+            resizer=job.is_resizer,
+        )
+        self.request_schedule()
+        self._ensure_backfill_thread()
+        return job
+
+    def started_event(self, job: Job) -> Event:
+        """Event fired (with the job) the moment the job starts running."""
+        try:
+            return self._start_events[job.job_id]
+        except KeyError:
+            raise SchedulerError(f"job {job.job_id} was never submitted") from None
+
+    def finish_job(self, job: Job, state: JobState = JobState.COMPLETED) -> None:
+        """Mark a running job as finished and release its nodes."""
+        if job.job_id not in self.running:
+            raise SchedulerError(f"job {job.job_id} is not running")
+        if job.nodes:
+            self.machine.release(job.job_id)
+        job.nodes = ()
+        job.transition(state)
+        job.end_time = self.env.now
+        del self.running[job.job_id]
+        self.finished.append(job)
+        self.trace.record(
+            self.env.now, EventKind.JOB_END, job.job_id, state=state.value
+        )
+        self.request_schedule()
+
+    def cancel_job(self, job: Job) -> None:
+        """Cancel a pending or running job (releases any held nodes)."""
+        if job.job_id in self.pending:
+            del self.pending[job.job_id]
+            job.transition(JobState.CANCELLED)
+            job.end_time = self.env.now
+            self.finished.append(job)
+        elif job.job_id in self.running:
+            if job.nodes:
+                self.machine.release(job.job_id)
+            job.nodes = ()
+            job.transition(JobState.CANCELLED)
+            job.end_time = self.env.now
+            del self.running[job.job_id]
+            self.finished.append(job)
+            proc = self.job_processes.get(job.job_id)
+            if (
+                proc is not None
+                and getattr(proc, "is_alive", False)
+                and proc is not self.env.active_process
+            ):
+                proc.interrupt(cause="scancel")
+        else:
+            raise SchedulerError(f"job {job.job_id} cannot be cancelled")
+        self.trace.record(self.env.now, EventKind.JOB_CANCEL, job.job_id)
+        self.request_schedule()
+
+    # -- scheduling ----------------------------------------------------------------
+    def request_schedule(self) -> None:
+        """Arrange a scheduling pass at the current timestamp (deduplicated)."""
+        if self._pass_scheduled:
+            return
+        self._pass_scheduled = True
+        tick = Event(self.env)
+        tick.callbacks.append(self._scheduling_pass)
+        tick._ok = True
+        tick._value = None
+        # Low priority: runs after all same-timestamp state changes settle.
+        self.env.schedule(tick, priority=10)
+
+    def _dependency_satisfied(self, job: Job) -> bool:
+        if job.dependency is None:
+            return True
+        dep = self.get_job(job.dependency)
+        # "expand"-style dependency: parent must be running (or done).
+        return dep.is_running or dep.state in TERMINAL_STATES
+
+    def _scheduling_pass(self, _event: Event) -> None:
+        """Event-driven pass: strict priority (FIFO) starts only.
+
+        Mirrors Slurm's main scheduler, which does not backfill; lower
+        priority jobs only jump the queue during the periodic backfill
+        thread's pass (:meth:`_backfill_pass`).
+        """
+        self._pass_scheduled = False
+        free = self.machine.free_count
+        for job in self.pending_jobs():
+            if not self._dependency_satisfied(job):
+                continue
+            if job.num_nodes > free:
+                # Moldable jobs (the paper's future-work "flexible
+                # submission") may start below their submitted size.
+                fitted = self._moldable_fit(job, free)
+                if fitted is None:
+                    break  # strict order: the blocked head stops the pass
+                job.num_nodes = fitted
+            self._start_job(job)
+            free -= job.num_nodes
+
+    def _moldable_fit(self, job: Job, free: int) -> Optional[int]:
+        """Size a moldable job into ``free`` nodes (largest fit, or None).
+
+        The paper's conclusions propose non-rigid submission: "giving a
+        range of number of nodes required instead of a fixed value".  A
+        moldable job starts at the largest factor-reachable size within
+        [min_procs, submitted] that fits the free nodes.
+        """
+        from repro.slurm.job import JobClass
+
+        moldable = job.job_class is JobClass.MOLDABLE or job.moldable_start
+        if not moldable or job.resize_request is None:
+            return None
+        request = job.resize_request
+        size = job.num_nodes
+        candidates = [size] + list(request.shrink_sizes(size))
+        for candidate in candidates:
+            if candidate <= free and candidate >= request.min_procs:
+                return candidate
+        return None
+
+    def _ensure_backfill_thread(self) -> None:
+        if self._backfill_thread_alive or self.config.backfill_interval <= 0:
+            return
+        self._backfill_thread_alive = True
+        self.env.process(self._backfill_loop(), name="slurm-backfill")
+
+    def _backfill_loop(self):
+        """The sched/backfill thread: one EASY pass per bf_interval."""
+        while not self.all_done():
+            self._backfill_pass()
+            yield self.env.timeout(self.config.backfill_interval)
+        self._backfill_thread_alive = False
+
+    def _backfill_pass(self) -> None:
+        eligible = [
+            j for j in self.pending_jobs() if self._dependency_satisfied(j)
+        ]
+        starts, _reservation = plan_backfill(
+            eligible,
+            self.running_jobs(),
+            self.machine.free_count,
+            self.env.now,
+        )
+        for job in starts:
+            self._start_job(job)
+
+    def _start_job(self, job: Job) -> None:
+        nodes = self.machine.allocate(job.job_id, job.num_nodes)
+        job.nodes = nodes
+        job.transition(JobState.RUNNING)
+        job.start_time = self.env.now
+        del self.pending[job.job_id]
+        self.running[job.job_id] = job
+        self.trace.record(
+            self.env.now,
+            EventKind.JOB_START,
+            job.job_id,
+            nodes=job.num_nodes,
+            node_ids=nodes,
+            resizer=job.is_resizer,
+        )
+        self._start_events[job.job_id].succeed(job)
+        if self.config.enforce_time_limits and not job.is_resizer:
+            self.env.process(self._limit_enforcer(job), name=f"limit-{job.job_id}")
+        if self.launcher is not None and not job.is_resizer:
+            self.launcher(job)
+
+    def _limit_enforcer(self, job: Job):
+        """Kill the job when it exceeds its (possibly rescaled) limit."""
+        while job.is_running:
+            deadline = job.expected_end
+            if self.env.now >= deadline:
+                self.finish_job(job, JobState.TIMEOUT)
+                proc = self.job_processes.get(job.job_id)
+                if proc is not None and getattr(proc, "is_alive", False):
+                    proc.interrupt(cause="time-limit")
+                return
+            yield self.env.timeout(deadline - self.env.now)
+
+    def register_job_process(self, job: Job, process: object) -> None:
+        """Let the runtime layer attach the process executing ``job``."""
+        self.job_processes[job.job_id] = process
+
+    # -- reconfiguration policy entry (used by the DMR API) --------------------
+    def policy_view(self) -> PolicyView:
+        """Snapshot of the scheduler state for a reconfiguration decision."""
+        return PolicyView(
+            free_nodes=self.machine.free_count,
+            pending=tuple(self.pending_jobs(include_resizers=False)),
+            running_count=len(self.running),
+        )
+
+    def check_status(
+        self,
+        job: Job,
+        request: ResizeRequest,
+        view: Optional[PolicyView] = None,
+    ) -> ResizeDecision:
+        """Evaluate Algorithm 1 for ``job``.
+
+        ``view`` may be a stale snapshot (asynchronous mode); by default
+        the current state is used (synchronous mode).
+        """
+        if job.job_id not in self.running:
+            raise SchedulerError(f"job {job.job_id} is not running")
+        if view is None:
+            view = self.policy_view()
+        decision = self.policy.decide(job, request, view)
+        self.trace.record(
+            self.env.now,
+            EventKind.RESIZE_DECISION,
+            job.job_id,
+            action=decision.action.value,
+            target=decision.target_procs,
+            reason=decision.reason.value,
+            beneficiary=decision.beneficiary_job_id,
+        )
+        if (
+            decision.action is ResizeAction.SHRINK
+            and decision.beneficiary_job_id is not None
+        ):
+            # Foster the queued job that motivated the shrink
+            # (Algorithm 1, line 18: set_max_priority(targetJobId)).
+            beneficiary = self.pending.get(decision.beneficiary_job_id)
+            if beneficiary is not None:
+                beneficiary.priority_boost = float("inf")
+        return decision
+
+    # -- resize mechanics (Section III's Slurm API steps) ------------------------
+    def detach_all_nodes(self, job: Job) -> Tuple[int, ...]:
+        """Step 2 of the expand protocol: set a job's size to 0 nodes.
+
+        Returns the node set, now free but intended for immediate transfer
+        to the parent job.
+        """
+        if job.job_id not in self.running:
+            raise SchedulerError(f"job {job.job_id} is not running")
+        nodes = self.machine.release(job.job_id)
+        job.nodes = ()
+        return nodes
+
+    def _rescale_time_limit(self, job: Job, old_size: int, new_size: int) -> None:
+        """Update the walltime limit after a resize.
+
+        The runtime knows the application keeps the same amount of work,
+        so it rescales the *remaining* limit by the node ratio (the
+        ``scontrol update TimeLimit`` a malleability-aware runtime issues).
+        Without this, shrunk jobs overrun their limits and every backfill
+        reservation computed from them is fiction.
+        """
+        if job.start_time is None:
+            return
+        elapsed = self.env.now - job.start_time
+        remaining = max(0.0, job.time_limit - elapsed)
+        job.time_limit = elapsed + remaining * (old_size / new_size)
+
+    def grow_job(self, job: Job, node_ids: Tuple[int, ...]) -> None:
+        """Step 4: attach specific (free) nodes to a running job."""
+        if job.job_id not in self.running:
+            raise SchedulerError(f"job {job.job_id} is not running")
+        old_size = job.num_nodes
+        self.machine.allocate_specific(job.job_id, node_ids)
+        job.nodes = self.machine.nodes_of(job.job_id)
+        self._rescale_time_limit(job, old_size, len(job.nodes))
+        job.record_resize(self.env.now, len(job.nodes))
+        self.trace.record(
+            self.env.now,
+            EventKind.RESIZE_EXPAND,
+            job.job_id,
+            new_size=job.num_nodes,
+            added=tuple(node_ids),
+        )
+
+    def shrink_job(self, job: Job, new_size: int) -> Tuple[int, ...]:
+        """Shrink a running job to ``new_size`` nodes (single-step update)."""
+        if job.job_id not in self.running:
+            raise SchedulerError(f"job {job.job_id} is not running")
+        if not 1 <= new_size < job.num_nodes:
+            raise SchedulerError(
+                f"job {job.job_id}: invalid shrink {job.num_nodes} -> {new_size}"
+            )
+        victims = self.machine.shrink_candidates(job.job_id, job.num_nodes - new_size)
+        released = self.machine.release(job.job_id, victims)
+        job.nodes = self.machine.nodes_of(job.job_id)
+        self._rescale_time_limit(job, job.num_nodes, new_size)
+        job.record_resize(self.env.now, new_size)
+        self.trace.record(
+            self.env.now,
+            EventKind.RESIZE_SHRINK,
+            job.job_id,
+            new_size=new_size,
+            released=released,
+        )
+        self.request_schedule()
+        return released

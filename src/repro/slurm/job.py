@@ -1,0 +1,200 @@
+"""Job descriptor and lifecycle state machine.
+
+Follows the classification of Feitelson & Rudolph used by the paper
+(Section II): *rigid*, *moldable*, *malleable* and *evolving*, collapsed
+into *fixed* (constant process count) and *flexible* (reconfigurable
+on-the-fly) categories.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.core.actions import ResizeRequest
+from repro.errors import JobStateError
+
+
+class JobState(enum.Enum):
+    """Slurm-like job lifecycle states."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETING = "completing"
+    COMPLETED = "completed"
+    CANCELLED = "cancelled"
+    FAILED = "failed"
+    TIMEOUT = "timeout"
+
+
+#: Legal state transitions.
+_TRANSITIONS = {
+    JobState.PENDING: {JobState.RUNNING, JobState.CANCELLED},
+    JobState.RUNNING: {
+        JobState.COMPLETING,
+        JobState.COMPLETED,
+        JobState.CANCELLED,
+        JobState.FAILED,
+        JobState.TIMEOUT,
+    },
+    JobState.COMPLETING: {JobState.COMPLETED},
+    JobState.COMPLETED: set(),
+    JobState.CANCELLED: set(),
+    JobState.FAILED: set(),
+    JobState.TIMEOUT: set(),
+}
+
+#: States from which a job will never run (again).
+TERMINAL_STATES = frozenset(
+    {JobState.COMPLETED, JobState.CANCELLED, JobState.FAILED, JobState.TIMEOUT}
+)
+
+
+class JobClass(enum.Enum):
+    """Feitelson & Rudolph job classification."""
+
+    RIGID = "rigid"
+    MOLDABLE = "moldable"
+    MALLEABLE = "malleable"
+    EVOLVING = "evolving"
+
+    @property
+    def is_flexible(self) -> bool:
+        """Flexible = process count reconfigurable during execution."""
+        return self in (JobClass.MALLEABLE, JobClass.EVOLVING)
+
+
+@dataclass
+class Job:
+    """A schedulable (and possibly malleable) job."""
+
+    name: str
+    num_nodes: int
+    time_limit: float
+    job_class: JobClass = JobClass.RIGID
+    #: DMR reconfiguration parameters; required for flexible jobs.
+    resize_request: Optional[ResizeRequest] = None
+    #: Opaque application payload (an AppModel for simulated executions).
+    payload: Any = None
+    #: Identifier; assigned by the controller at submission.
+    job_id: int = -1
+    state: JobState = JobState.PENDING
+    submit_time: Optional[float] = None
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    #: Static priority boost (resizer jobs and shrink beneficiaries get a
+    #: very large one, per the paper's "maximum priority").
+    priority_boost: float = 0.0
+    #: True for the transient resizer jobs of the expand protocol.
+    is_resizer: bool = False
+    #: Flexible submission (the paper's future work): allow the scheduler
+    #: to start this job below its submitted size, down to
+    #: ``resize_request.min_procs``.  Combines with MALLEABLE for jobs
+    #: that are both moldable at start and reconfigurable at runtime.
+    moldable_start: bool = False
+    #: Parent job (for resizer jobs: the job being expanded).
+    parent_id: Optional[int] = None
+    #: Dependency: job_id that must be running/complete before this starts.
+    dependency: Optional[int] = None
+    #: Nodes currently assigned (maintained by the controller).
+    nodes: Tuple[int, ...] = ()
+    #: Resize history: (time, old_size, new_size) triples.
+    resizes: List[Tuple[float, int, int]] = field(default_factory=list)
+    #: Node count the job was originally submitted with.
+    submitted_nodes: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise JobStateError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.time_limit <= 0:
+            raise JobStateError(f"time_limit must be positive, got {self.time_limit}")
+        if self.submitted_nodes < 0:
+            self.submitted_nodes = self.num_nodes
+        if self.is_flexible and self.resize_request is None:
+            raise JobStateError(f"flexible job {self.name!r} needs a resize_request")
+
+    # -- classification -----------------------------------------------------
+    @property
+    def is_flexible(self) -> bool:
+        return self.job_class.is_flexible
+
+    # -- state machine --------------------------------------------------------
+    def transition(self, new_state: JobState) -> None:
+        if new_state not in _TRANSITIONS[self.state]:
+            raise JobStateError(
+                f"job {self.job_id} ({self.name}): illegal transition "
+                f"{self.state.value} -> {new_state.value}"
+            )
+        self.state = new_state
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def is_pending(self) -> bool:
+        return self.state is JobState.PENDING
+
+    @property
+    def is_running(self) -> bool:
+        return self.state in (JobState.RUNNING, JobState.COMPLETING)
+
+    # -- bookkeeping ------------------------------------------------------------
+    def record_resize(self, time: float, new_size: int) -> None:
+        self.resizes.append((time, self.num_nodes, new_size))
+        self.num_nodes = new_size
+
+    @property
+    def expected_end(self) -> float:
+        """Backfill planning horizon: start + walltime limit."""
+        if self.start_time is None:
+            raise JobStateError(f"job {self.job_id} has not started")
+        return self.start_time + self.time_limit
+
+    # -- paper metrics ----------------------------------------------------------
+    @property
+    def wait_time(self) -> float:
+        """Queue time: submission to start."""
+        if self.submit_time is None or self.start_time is None:
+            raise JobStateError(f"job {self.job_id} missing submit/start time")
+        return self.start_time - self.submit_time
+
+    @property
+    def execution_time(self) -> float:
+        """Run time: start to end."""
+        if self.start_time is None or self.end_time is None:
+            raise JobStateError(f"job {self.job_id} missing start/end time")
+        return self.end_time - self.start_time
+
+    @property
+    def completion_time(self) -> float:
+        """The paper's 'completion time': waiting plus execution."""
+        return self.wait_time + self.execution_time
+
+    def __repr__(self) -> str:
+        return (
+            f"<Job {self.job_id} {self.name!r} {self.state.value} "
+            f"nodes={self.num_nodes}>"
+        )
+
+
+def make_resizer(parent: Job, extra_nodes: int, time_limit: float = 3600.0) -> Job:
+    """Build the transient resizer job used by the expand protocol.
+
+    Per Section V-B: it requests the node difference, depends on the
+    original job, and carries maximum priority so the RMS decision is
+    honoured quickly.
+    """
+    if extra_nodes < 1:
+        raise JobStateError(f"resizer needs >= 1 extra node, got {extra_nodes}")
+    return Job(
+        name=f"{parent.name}-resizer",
+        num_nodes=extra_nodes,
+        time_limit=time_limit,
+        job_class=JobClass.RIGID,
+        is_resizer=True,
+        parent_id=parent.job_id,
+        dependency=parent.job_id,
+        priority_boost=float("inf"),
+    )

@@ -1,0 +1,25 @@
+"""Workload generation: the Feitelson '96 model and the paper's mixes."""
+
+from repro.workload.feitelson import FeitelsonConfig, FeitelsonModel
+from repro.workload.generator import (
+    FSWorkloadConfig,
+    REALAPP_FACTORIES,
+    fs_workload,
+    realapp_workload,
+)
+from repro.workload.spec import JobSpec, WorkloadSpec
+from repro.workload.swf import export_results, export_spec, parse_swf
+
+__all__ = [
+    "export_results",
+    "export_spec",
+    "parse_swf",
+    "FSWorkloadConfig",
+    "FeitelsonConfig",
+    "FeitelsonModel",
+    "JobSpec",
+    "REALAPP_FACTORIES",
+    "WorkloadSpec",
+    "fs_workload",
+    "realapp_workload",
+]

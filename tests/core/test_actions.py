@@ -1,0 +1,48 @@
+"""Unit tests for resize actions and decisions."""
+
+import pytest
+
+from repro.core import DecisionReason, ResizeAction, ResizeDecision, ResizeRequest
+
+
+def test_action_truthiness():
+    assert not ResizeAction.NO_ACTION
+    assert ResizeAction.EXPAND
+    assert ResizeAction.SHRINK
+
+
+def test_decision_truthiness_mirrors_action():
+    yes = ResizeDecision(ResizeAction.EXPAND, 8, DecisionReason.ALONE_IN_SYSTEM)
+    no = ResizeDecision.no_action(4, DecisionReason.NO_RESOURCES)
+    assert yes and not no
+    assert no.target_procs == 4
+
+
+def test_expand_sizes_cap_at_max():
+    req = ResizeRequest(min_procs=1, max_procs=20, factor=2)
+    assert req.expand_sizes(5) == (10, 20)
+    assert req.expand_sizes(20) == ()
+
+
+def test_shrink_sizes_stop_at_min():
+    req = ResizeRequest(min_procs=4, max_procs=32, factor=2)
+    assert req.shrink_sizes(32) == (16, 8, 4)
+    assert req.shrink_sizes(4) == ()
+
+
+def test_factor_three():
+    req = ResizeRequest(min_procs=1, max_procs=27, factor=3)
+    assert req.expand_sizes(3) == (9, 27)
+    assert req.shrink_sizes(9) == (3, 1)
+
+
+def test_max_procs_to_none_when_stuck():
+    req = ResizeRequest(min_procs=1, max_procs=32)
+    assert req.max_procs_to(32, limit=32, available=100) is None
+    assert req.max_procs_to(4, limit=4, available=100) is None
+
+
+def test_preferred_equal_bounds_ok():
+    req = ResizeRequest(min_procs=8, max_procs=8, preferred=8)
+    assert req.preferred == 8
+    assert req.expand_sizes(8) == ()

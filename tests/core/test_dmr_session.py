@@ -1,0 +1,86 @@
+"""Tests for the DMR session (sync/async decision hand-off)."""
+
+from repro.core import DMRSession, DecisionReason, ResizeAction, ResizeDecision
+
+
+def expand(target):
+    return ResizeDecision(
+        ResizeAction.EXPAND, target, DecisionReason.EXPAND_IDLE_RESOURCES
+    )
+
+
+def shrink(target):
+    return ResizeDecision(
+        ResizeAction.SHRINK, target, DecisionReason.SHRINK_FOR_PENDING
+    )
+
+
+def no_action():
+    return ResizeDecision.no_action(4, DecisionReason.NO_RESOURCES)
+
+
+class TestSynchronous:
+    def test_returns_fresh_decision_blocking(self):
+        s = DMRSession()
+        out = s.check(0.0, decide=lambda: expand(8))
+        assert out.decision.target_procs == 8
+        assert out.blocking
+        assert not out.inhibited
+
+    def test_inhibited_calls_skip_decide(self):
+        s = DMRSession(sched_period=10.0)
+        calls = []
+        out = s.check(5.0, decide=lambda: calls.append(1) or expand(8))
+        assert out.inhibited
+        assert out.decision is None
+        assert calls == []
+
+    def test_inhibitor_window(self):
+        s = DMRSession(sched_period=10.0)
+        assert s.check(10.0, decide=lambda: expand(8)).decision is not None
+        assert s.check(15.0, decide=lambda: expand(8)).inhibited
+        assert s.check(20.0, decide=lambda: expand(8)).decision is not None
+
+
+class TestAsynchronous:
+    def test_first_call_applies_nothing(self):
+        s = DMRSession(async_mode=True)
+        out = s.check(0.0, decide=lambda: expand(8))
+        assert out.decision is None
+        assert not out.blocking
+        assert s.pending.target_procs == 8
+
+    def test_second_call_applies_previous_decision(self):
+        s = DMRSession(async_mode=True)
+        s.check(0.0, decide=lambda: expand(8))
+        out = s.check(1.0, decide=lambda: shrink(2))
+        # Applies the step-0 decision even though conditions changed.
+        assert out.decision.action is ResizeAction.EXPAND
+        assert out.decision.target_procs == 8
+        assert s.pending.action is ResizeAction.SHRINK
+
+    def test_no_action_decisions_are_dropped(self):
+        s = DMRSession(async_mode=True)
+        s.check(0.0, decide=lambda: no_action())
+        out = s.check(1.0, decide=lambda: expand(8))
+        assert out.decision is None  # NO_ACTION never "applied"
+
+    def test_async_never_blocks(self):
+        s = DMRSession(async_mode=True)
+        for t in (0.0, 1.0, 2.0):
+            assert not s.check(t, decide=lambda: expand(8)).blocking
+
+    def test_cancel_pending(self):
+        s = DMRSession(async_mode=True)
+        s.check(0.0, decide=lambda: expand(8))
+        s.cancel_pending()
+        out = s.check(1.0, decide=lambda: expand(16))
+        assert out.decision is None
+
+    def test_async_respects_inhibitor(self):
+        s = DMRSession(sched_period=10.0, async_mode=True)
+        s.check(10.0, decide=lambda: expand(8))
+        out = s.check(12.0, decide=lambda: expand(16))
+        assert out.inhibited
+        # Pending decision survives an inhibited call.
+        assert s.pending.target_procs == 8

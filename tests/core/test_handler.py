@@ -1,0 +1,31 @@
+"""Tests for the opaque offload handler."""
+
+import pytest
+
+from repro.core import OffloadHandler, ResizeAction
+
+
+def test_expand_factor():
+    h = OffloadHandler(ResizeAction.EXPAND, old_procs=4, new_procs=8)
+    assert h.factor == 2
+
+
+def test_shrink_factor():
+    h = OffloadHandler(ResizeAction.SHRINK, old_procs=16, new_procs=4)
+    assert h.factor == 4
+
+
+def test_same_size_factor_is_one():
+    h = OffloadHandler(ResizeAction.NO_ACTION, old_procs=4, new_procs=4)
+    assert h.factor == 1
+
+
+def test_non_homogeneous_factor_raises():
+    h = OffloadHandler(ResizeAction.EXPAND, old_procs=4, new_procs=6)
+    with pytest.raises(ValueError):
+        _ = h.factor
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        OffloadHandler(ResizeAction.EXPAND, old_procs=0, new_procs=4)

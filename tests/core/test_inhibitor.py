@@ -1,0 +1,51 @@
+"""Tests for the checking inhibitor (NANOX_SCHED_PERIOD)."""
+
+import pytest
+
+from repro.core import CheckInhibitor
+from repro.errors import RuntimeAPIError
+
+
+def test_zero_period_always_allows():
+    inh = CheckInhibitor(0.0)
+    for t in (0.0, 0.1, 0.1, 5.0):
+        assert inh.try_acquire(t)
+
+
+def test_negative_period_rejected():
+    with pytest.raises(RuntimeAPIError):
+        CheckInhibitor(-1.0)
+
+
+def test_period_blocks_until_elapsed():
+    inh = CheckInhibitor(5.0, start=0.0)
+    assert not inh.allows(0.0)
+    assert not inh.allows(4.9)
+    assert inh.allows(5.0)
+
+
+def test_first_check_counts_from_start():
+    inh = CheckInhibitor(15.0, start=100.0)
+    assert not inh.allows(110.0)
+    assert inh.allows(115.0)
+
+
+def test_record_resets_window():
+    inh = CheckInhibitor(5.0)
+    assert inh.try_acquire(5.0)
+    assert not inh.try_acquire(8.0)
+    assert inh.try_acquire(10.0)
+    assert inh.last_check == 10.0
+
+
+def test_non_monotone_record_rejected():
+    inh = CheckInhibitor(5.0)
+    inh.record(10.0)
+    with pytest.raises(RuntimeAPIError):
+        inh.record(9.0)
+
+
+def test_try_acquire_does_not_record_when_blocked():
+    inh = CheckInhibitor(5.0)
+    assert not inh.try_acquire(3.0)
+    assert inh.last_check == 0.0

@@ -1,0 +1,52 @@
+"""Tests for text-report rendering."""
+
+import pytest
+
+from repro.metrics import StepSeries, format_csv, format_evolution, format_table, sparkline
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert len(lines) == 5  # title, header, sep, 2 rows
+
+
+def test_format_table_number_formats():
+    text = format_table(["v"], [[12345.6], [0.1234], [3.5], [0.0]])
+    assert "12,346" in text
+    assert "0.1234" in text
+    assert "3.50" in text
+
+
+def test_format_csv():
+    text = format_csv(["x", "y"], [[1, 2.0], [3, 4.5]])
+    lines = text.strip().splitlines()
+    assert lines[0] == "x,y"
+    assert lines[1] == "1,2.00"
+
+
+def test_csv_strips_thousands_separator():
+    text = format_csv(["v"], [[123456.0]])
+    assert "123456" in text.splitlines()[1]
+
+
+def test_sparkline_range():
+    s = StepSeries((0.0, 5.0), (0.0, 10.0))
+    line = sparkline(s, 0.0, 10.0, width=10)
+    assert len(line) == 10
+    assert line[0] == " "  # zero level
+    assert line[-1] == "█"  # peak level
+
+
+def test_sparkline_validation():
+    s = StepSeries((0.0,), (1.0,))
+    with pytest.raises(ValueError):
+        sparkline(s, 0, 1, width=0)
+
+
+def test_format_evolution_contains_series_names():
+    s = StepSeries((0.0,), (4.0,))
+    text = format_evolution("fig", [("alloc", s), ("running", s)], 0.0, 10.0)
+    assert "alloc" in text and "running" in text and "peak=4" in text

@@ -1,0 +1,86 @@
+"""Tests for Table II summary computation and the gain metric."""
+
+import pytest
+
+from repro.metrics import EventKind, Trace, gain_percent, summarize
+from repro.slurm import Job
+
+
+def finished_job(jid, submit, start, end, nodes=4):
+    job = Job(name=f"j{jid}", num_nodes=nodes, time_limit=1e6)
+    job.job_id = jid
+    job.submit_time, job.start_time, job.end_time = submit, start, end
+    return job
+
+
+def trace_with_alloc(points):
+    tr = Trace()
+    for t, used in points:
+        tr.record(t, EventKind.ALLOC_CHANGE, nodes_used=used, nodes_total=10)
+    return tr
+
+
+def test_summary_averages():
+    jobs = [
+        finished_job(1, submit=0.0, start=0.0, end=10.0),
+        finished_job(2, submit=0.0, start=10.0, end=30.0),
+    ]
+    tr = trace_with_alloc([(0.0, 4), (10.0, 4), (30.0, 0)])
+    s = summarize(jobs, tr, num_nodes=10)
+    assert s.num_jobs == 2
+    assert s.makespan == 30.0
+    assert s.avg_wait_time == pytest.approx(5.0)
+    assert s.avg_execution_time == pytest.approx(15.0)
+    assert s.avg_completion_time == pytest.approx(20.0)
+
+
+def test_summary_utilization():
+    jobs = [finished_job(1, 0.0, 0.0, 10.0)]
+    tr = trace_with_alloc([(0.0, 5), (10.0, 0)])
+    s = summarize(jobs, tr, num_nodes=10)
+    # 5 nodes for 10 s over a 10-node, 10-s window -> 50%.
+    assert s.utilization_rate == pytest.approx(0.5)
+    assert s.total_node_seconds == pytest.approx(50.0)
+
+
+def test_summary_counts_resizes():
+    job = finished_job(1, 0.0, 0.0, 10.0, nodes=8)
+    job.record_resize(5.0, 4)
+    s = summarize([job], trace_with_alloc([(0.0, 8), (5.0, 4), (10.0, 0)]), 10)
+    assert s.resize_count == 1
+
+
+def test_summary_excludes_resizers():
+    real = finished_job(1, 0.0, 0.0, 10.0)
+    rj = finished_job(2, 1.0, 1.0, 2.0)
+    rj.is_resizer = True
+    s = summarize([real, rj], trace_with_alloc([(0.0, 4)]), 10)
+    assert s.num_jobs == 1
+
+
+def test_summary_requires_finished_jobs():
+    job = Job(name="x", num_nodes=1, time_limit=10.0)
+    job.job_id = 1
+    job.submit_time = 0.0
+    with pytest.raises(ValueError):
+        summarize([job], Trace(), 10)
+
+
+def test_summary_requires_jobs():
+    with pytest.raises(ValueError):
+        summarize([], Trace(), 10)
+
+
+def test_gain_percent():
+    assert gain_percent(100.0, 60.0) == pytest.approx(40.0)
+    assert gain_percent(100.0, 110.0) == pytest.approx(-10.0)
+    with pytest.raises(ValueError):
+        gain_percent(0.0, 10.0)
+
+
+def test_as_dict_roundtrip():
+    jobs = [finished_job(1, 0.0, 0.0, 10.0)]
+    s = summarize(jobs, trace_with_alloc([(0.0, 4)]), 10)
+    d = s.as_dict()
+    assert d["num_jobs"] == 1
+    assert set(d) >= {"makespan", "utilization_rate", "avg_wait_time"}

@@ -1,0 +1,103 @@
+"""Tests for step-series timelines."""
+
+import pytest
+
+from repro.metrics import (
+    EventKind,
+    StepSeries,
+    Trace,
+    allocated_nodes_series,
+    completed_jobs_series,
+    running_jobs_series,
+)
+
+
+class TestStepSeries:
+    def test_at_before_first_event_is_zero(self):
+        s = StepSeries((5.0,), (3.0,))
+        assert s.at(1.0) == 0.0
+        assert s.at(5.0) == 3.0
+        assert s.at(100.0) == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepSeries((1.0, 2.0), (1.0,))
+        with pytest.raises(ValueError):
+            StepSeries((2.0, 1.0), (1.0, 2.0))
+
+    def test_integral_piecewise(self):
+        s = StepSeries((0.0, 10.0), (2.0, 4.0))
+        # 2*10 + 4*10 over [0, 20].
+        assert s.integral(0.0, 20.0) == pytest.approx(60.0)
+
+    def test_integral_partial_window(self):
+        s = StepSeries((0.0, 10.0), (2.0, 4.0))
+        assert s.integral(5.0, 15.0) == pytest.approx(2 * 5 + 4 * 5)
+
+    def test_integral_empty_interval_raises(self):
+        s = StepSeries((0.0,), (1.0,))
+        with pytest.raises(ValueError):
+            s.integral(5.0, 4.0)
+
+    def test_average(self):
+        s = StepSeries((0.0, 10.0), (0.0, 10.0))
+        assert s.average(0.0, 20.0) == pytest.approx(5.0)
+        assert s.average(3.0, 3.0) == 0.0
+
+    def test_sample(self):
+        s = StepSeries((0.0, 10.0), (1.0, 2.0))
+        assert s.sample([0.0, 9.9, 10.0, 20.0]) == [1.0, 1.0, 2.0, 2.0]
+
+
+def make_trace():
+    tr = Trace()
+    tr.record(0.0, EventKind.JOB_SUBMIT, 1, resizer=False)
+    tr.record(0.0, EventKind.ALLOC_CHANGE, nodes_used=4, nodes_total=16)
+    tr.record(0.0, EventKind.JOB_START, 1)
+    tr.record(5.0, EventKind.JOB_SUBMIT, 2, resizer=False)
+    tr.record(5.0, EventKind.ALLOC_CHANGE, nodes_used=8, nodes_total=16)
+    tr.record(5.0, EventKind.JOB_START, 2)
+    tr.record(10.0, EventKind.ALLOC_CHANGE, nodes_used=4, nodes_total=16)
+    tr.record(10.0, EventKind.JOB_END, 1)
+    tr.record(20.0, EventKind.ALLOC_CHANGE, nodes_used=0, nodes_total=16)
+    tr.record(20.0, EventKind.JOB_END, 2)
+    return tr
+
+
+def test_allocated_nodes_series():
+    s = allocated_nodes_series(make_trace())
+    assert s.at(2.0) == 4
+    assert s.at(7.0) == 8
+    assert s.at(15.0) == 4
+    assert s.at(25.0) == 0
+
+
+def test_running_jobs_series():
+    s = running_jobs_series(make_trace())
+    assert s.at(2.0) == 1
+    assert s.at(7.0) == 2
+    assert s.at(15.0) == 1
+    assert s.at(25.0) == 0
+
+
+def test_running_jobs_excludes_resizers():
+    tr = make_trace()
+    tr.record(6.0, EventKind.JOB_SUBMIT, 99, resizer=True)
+    tr.record(6.0, EventKind.JOB_START, 99)
+    s = running_jobs_series(tr)
+    assert s.at(7.0) == 2  # resizer not counted
+
+
+def test_completed_jobs_series():
+    s = completed_jobs_series(make_trace())
+    assert s.at(9.0) == 0
+    assert s.at(10.0) == 1
+    assert s.at(20.0) == 2
+
+
+def test_alloc_series_dedupes_same_timestamp():
+    tr = Trace()
+    tr.record(1.0, EventKind.ALLOC_CHANGE, nodes_used=4)
+    tr.record(1.0, EventKind.ALLOC_CHANGE, nodes_used=8)
+    s = allocated_nodes_series(tr)
+    assert s.at(1.0) == 8

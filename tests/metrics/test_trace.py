@@ -1,0 +1,60 @@
+"""Tests for the trace event log."""
+
+from repro.metrics import EventKind, Trace
+
+
+def test_record_and_len():
+    tr = Trace()
+    tr.record(1.0, EventKind.JOB_SUBMIT, 1, nodes=4)
+    tr.record(2.0, EventKind.JOB_START, 1, nodes=4)
+    assert len(tr) == 2
+
+
+def test_of_kind_filters():
+    tr = Trace()
+    tr.record(1.0, EventKind.JOB_SUBMIT, 1)
+    tr.record(2.0, EventKind.JOB_START, 1)
+    tr.record(3.0, EventKind.JOB_SUBMIT, 2)
+    subs = tr.of_kind(EventKind.JOB_SUBMIT)
+    assert [e.job_id for e in subs] == [1, 2]
+
+
+def test_of_kind_multiple():
+    tr = Trace()
+    tr.record(1.0, EventKind.JOB_SUBMIT, 1)
+    tr.record(2.0, EventKind.JOB_END, 1)
+    both = tr.of_kind(EventKind.JOB_SUBMIT, EventKind.JOB_END)
+    assert len(both) == 2
+
+
+def test_of_job():
+    tr = Trace()
+    tr.record(1.0, EventKind.JOB_SUBMIT, 1)
+    tr.record(2.0, EventKind.JOB_SUBMIT, 2)
+    assert len(tr.of_job(2)) == 1
+
+
+def test_series_extraction():
+    tr = Trace()
+    tr.record(1.0, EventKind.ALLOC_CHANGE, nodes_used=4)
+    tr.record(5.0, EventKind.ALLOC_CHANGE, nodes_used=8)
+    assert tr.series(EventKind.ALLOC_CHANGE, "nodes_used") == [(1.0, 4), (5.0, 8)]
+
+
+def test_event_getitem():
+    tr = Trace()
+    e = tr.record(1.0, EventKind.JOB_START, 1, nodes=16)
+    assert e["nodes"] == 16
+
+
+def test_last_time():
+    tr = Trace()
+    assert tr.last_time() == 0.0
+    tr.record(9.0, EventKind.JOB_END, 1)
+    assert tr.last_time() == 9.0
+
+
+def test_iteration():
+    tr = Trace()
+    tr.record(1.0, EventKind.JOB_SUBMIT, 1)
+    assert [e.time for e in tr] == [1.0]

@@ -1,0 +1,170 @@
+"""Collective operation tests on the MPI substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MPIError
+from repro.mpi import run_world
+
+
+def test_barrier_synchronizes():
+    def main(ctx):
+        yield ctx.barrier()
+        return "past"
+
+    assert run_world(4, main) == ["past"] * 4
+
+
+def test_bcast():
+    def main(ctx):
+        value = {"k": [1, 2]} if ctx.rank == 0 else None
+        got = yield ctx.bcast(value, root=0)
+        return got
+
+    results = run_world(3, main)
+    assert all(r == {"k": [1, 2]} for r in results)
+
+
+def test_bcast_nonzero_root():
+    def main(ctx):
+        value = "payload" if ctx.rank == 2 else None
+        return (yield ctx.bcast(value, root=2))
+
+    assert run_world(3, main) == ["payload"] * 3
+
+
+def test_scatter():
+    def main(ctx):
+        values = [(i + 1) ** 2 for i in range(ctx.size)] if ctx.rank == 0 else None
+        got = yield ctx.scatter(values, root=0)
+        return got
+
+    assert run_world(4, main) == [1, 4, 9, 16]
+
+
+def test_scatter_wrong_length():
+    def main(ctx):
+        values = [1, 2] if ctx.rank == 0 else None
+        yield ctx.scatter(values, root=0)
+
+    with pytest.raises(MPIError):
+        run_world(3, main)
+
+
+def test_gather():
+    def main(ctx):
+        got = yield ctx.gather((ctx.rank + 1) ** 2, root=0)
+        return got
+
+    results = run_world(4, main)
+    assert results[0] == [1, 4, 9, 16]
+    assert results[1] is None
+
+
+def test_allgather():
+    def main(ctx):
+        got = yield ctx.allgather(ctx.rank * 10)
+        return got
+
+    assert run_world(3, main) == [[0, 10, 20]] * 3
+
+
+def test_allreduce_sum():
+    def main(ctx):
+        return (yield ctx.allreduce(ctx.rank + 1, op="sum"))
+
+    assert run_world(4, main) == [10] * 4
+
+
+def test_allreduce_max_min():
+    def main(ctx):
+        hi = yield ctx.allreduce(ctx.rank, op="max")
+        lo = yield ctx.allreduce(ctx.rank, op="min")
+        return (hi, lo)
+
+    assert run_world(4, main) == [(3, 0)] * 4
+
+
+def test_allreduce_numpy_arrays():
+    def main(ctx):
+        v = np.full(4, float(ctx.rank))
+        total = yield ctx.allreduce(v, op="sum")
+        return total.tolist()
+
+    assert run_world(3, main) == [[3.0, 3.0, 3.0, 3.0]] * 3
+
+
+def test_allreduce_custom_op():
+    def main(ctx):
+        return (yield ctx.allreduce([ctx.rank], op=lambda a, b: a + b))
+
+    assert run_world(3, main) == [[0, 1, 2]] * 3
+
+
+def test_alltoall():
+    def main(ctx):
+        outgoing = [f"{ctx.rank}->{d}" for d in range(ctx.size)]
+        got = yield ctx.alltoall(outgoing)
+        return got
+
+    results = run_world(3, main)
+    assert results[1] == ["0->1", "1->1", "2->1"]
+
+
+def test_alltoall_wrong_length():
+    def main(ctx):
+        yield ctx.alltoall([1])
+
+    with pytest.raises(MPIError):
+        run_world(3, main)
+
+
+def test_mismatched_collectives_detected():
+    def main(ctx):
+        if ctx.rank == 0:
+            yield ctx.barrier()
+        else:
+            yield ctx.allreduce(1)
+
+    with pytest.raises(MPIError, match="mismatch"):
+        run_world(2, main)
+
+
+def test_mismatched_bcast_roots_detected():
+    def main(ctx):
+        yield ctx.bcast("v", root=ctx.rank)
+
+    with pytest.raises(MPIError, match="root"):
+        run_world(2, main)
+
+
+def test_repeated_collectives():
+    def main(ctx):
+        total = 0
+        for i in range(5):
+            total += yield ctx.allreduce(i, op="sum")
+        return total
+
+    # Each round reduces i over 3 ranks: 3*i; sum over i=0..4 -> 3*10.
+    assert run_world(3, main) == [30] * 3
+
+
+def test_parallel_dot_product():
+    """The mpi4py tutorial's parallel matvec pattern, verified exactly."""
+    n, p = 12, 3
+
+    def main(ctx):
+        rng = np.random.default_rng(42)
+        full = rng.random(n)
+        block = n // ctx.size
+        local = full[ctx.rank * block : (ctx.rank + 1) * block]
+        partial = float(local @ local)
+        total = yield ctx.allreduce(partial, op="sum")
+        return total
+
+    results = run_world(p, main)
+    expected = results[0]
+    rng = np.random.default_rng(42)
+    full = rng.random(n)
+    assert expected == pytest.approx(float(full @ full))
+    assert all(r == pytest.approx(expected) for r in results)

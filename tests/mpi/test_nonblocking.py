@@ -1,0 +1,113 @@
+"""Tests for non-blocking operations (Isend / Irecv / Waitall)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlockError, MPIError
+from repro.mpi import run_world
+
+
+def test_isend_returns_completed_request():
+    def main(ctx):
+        if ctx.rank == 0:
+            req = yield ctx.isend(1, "payload")
+            return req.done
+        return (yield ctx.recv(source=0))
+
+    results = run_world(2, main)
+    assert results == [True, "payload"]
+
+
+def test_irecv_waitall_roundtrip():
+    def main(ctx):
+        if ctx.rank == 0:
+            yield ctx.isend(1, "a", tag=1)
+            yield ctx.isend(1, "b", tag=2)
+            return None
+        r1 = yield ctx.irecv(source=0, tag=1)
+        r2 = yield ctx.irecv(source=0, tag=2)
+        values = yield ctx.waitall([r1, r2])
+        return values
+
+    assert run_world(2, main)[1] == ["a", "b"]
+
+
+def test_waitall_blocks_until_messages_arrive():
+    def main(ctx):
+        if ctx.rank == 0:
+            req = yield ctx.irecv(source=1)
+            values = yield ctx.waitall([req])  # blocks: nothing sent yet
+            return values[0]
+        yield ctx.barrier() if False else ctx.isend(0, 42)
+
+    assert run_world(2, main)[0] == 42
+
+
+def test_waitall_mixed_send_recv_requests():
+    def main(ctx):
+        peer = 1 - ctx.rank
+        sreq = yield ctx.isend(peer, ctx.rank * 10)
+        rreq = yield ctx.irecv(source=peer)
+        values = yield ctx.waitall([sreq, rreq])
+        return values
+
+    results = run_world(2, main)
+    assert results[0] == [None, 10]
+    assert results[1] == [None, 0]
+
+
+def test_waitall_order_matches_request_order():
+    def main(ctx):
+        if ctx.rank == 3:
+            reqs = []
+            for src in (2, 0, 1):
+                reqs.append((yield ctx.irecv(source=src)))
+            return (yield ctx.waitall(reqs))
+        yield ctx.isend(3, f"from-{ctx.rank}")
+
+    assert run_world(4, main)[3] == ["from-2", "from-0", "from-1"]
+
+
+def test_listing3_shrink_pattern():
+    """The exact Isend/Irecv/Waitall exchange of the paper's Listing 3."""
+    factor = 4
+
+    def main(ctx):
+        data = np.full(4, float(ctx.rank))
+        sender = (ctx.rank % factor) < (factor - 1)
+        if sender:
+            dst = factor * (ctx.rank // factor + 1) - 1
+            yield ctx.isend(dst, data)
+            return None
+        requests = []
+        for i in range(1, factor):
+            src = ctx.rank - factor + i
+            requests.append((yield ctx.irecv(source=src)))
+        blocks = yield ctx.waitall(requests)
+        alldata = np.concatenate(blocks + [data])
+        return alldata.tolist()
+
+    results = run_world(8, main)
+    assert results[3] == [0.0] * 4 + [1.0] * 4 + [2.0] * 4 + [3.0] * 4
+    assert results[7] == [4.0] * 4 + [5.0] * 4 + [6.0] * 4 + [7.0] * 4
+
+
+def test_waitall_deadlock_detected():
+    def main(ctx):
+        req = yield ctx.irecv(source=1 - ctx.rank)
+        yield ctx.waitall([req])  # nobody ever sends
+
+    with pytest.raises(DeadlockError):
+        run_world(2, main)
+
+
+def test_numpy_payload_through_waitall():
+    def main(ctx):
+        if ctx.rank == 0:
+            yield ctx.isend(1, np.arange(100.0))
+            return None
+        req = yield ctx.irecv(source=0)
+        (arr,) = yield ctx.waitall([req])
+        return float(arr.sum())
+
+    assert run_world(2, main)[1] == pytest.approx(4950.0)

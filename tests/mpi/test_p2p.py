@@ -1,0 +1,166 @@
+"""Point-to-point messaging tests on the MPI substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlockError, MPIError
+from repro.mpi import ANY_SOURCE, ANY_TAG, run_world
+
+
+def test_send_recv_pair():
+    def main(ctx):
+        if ctx.rank == 0:
+            yield ctx.send(1, {"a": 7, "b": 3.14})
+            return "sent"
+        else:
+            data = yield ctx.recv(source=0)
+            return data
+
+    results = run_world(2, main)
+    assert results == ["sent", {"a": 7, "b": 3.14}]
+
+
+def test_numpy_payload():
+    def main(ctx):
+        if ctx.rank == 0:
+            yield ctx.send(1, np.arange(1000))
+            return None
+        data = yield ctx.recv(source=0)
+        return int(data.sum())
+
+    assert run_world(2, main)[1] == 499500
+
+
+def test_recv_blocks_until_send():
+    order = []
+
+    def main(ctx):
+        if ctx.rank == 0:
+            # Burn a few ops before sending.
+            yield ctx.barrier()
+            order.append("pre-send")
+            yield ctx.send(1, "late")
+        else:
+            yield ctx.barrier()
+            value = yield ctx.recv(source=0)
+            order.append(f"got-{value}")
+
+    run_world(2, main)
+    assert order == ["pre-send", "got-late"]
+
+
+def test_tag_matching():
+    def main(ctx):
+        if ctx.rank == 0:
+            yield ctx.send(1, "urgent", tag=9)
+            yield ctx.send(1, "normal", tag=1)
+        else:
+            normal = yield ctx.recv(source=0, tag=1)
+            urgent = yield ctx.recv(source=0, tag=9)
+            return (normal, urgent)
+
+    assert run_world(2, main)[1] == ("normal", "urgent")
+
+
+def test_any_source_any_tag():
+    def main(ctx):
+        if ctx.rank == 2:
+            a = yield ctx.recv(source=ANY_SOURCE, tag=ANY_TAG)
+            b = yield ctx.recv(source=ANY_SOURCE, tag=ANY_TAG)
+            return sorted([a, b])
+        yield ctx.send(2, f"from-{ctx.rank}")
+
+    assert run_world(3, main)[2] == ["from-0", "from-1"]
+
+
+def test_source_specific_recv_skips_other_senders():
+    def main(ctx):
+        if ctx.rank == 0:
+            yield ctx.send(2, "zero")
+        elif ctx.rank == 1:
+            yield ctx.send(2, "one")
+        else:
+            from_one = yield ctx.recv(source=1)
+            from_zero = yield ctx.recv(source=0)
+            return (from_one, from_zero)
+
+    assert run_world(3, main)[2] == ("one", "zero")
+
+
+def test_fifo_order_per_sender():
+    def main(ctx):
+        if ctx.rank == 0:
+            for i in range(5):
+                yield ctx.send(1, i)
+        else:
+            got = []
+            for _ in range(5):
+                got.append((yield ctx.recv(source=0)))
+            return got
+
+    assert run_world(2, main)[1] == [0, 1, 2, 3, 4]
+
+
+def test_probe():
+    def main(ctx):
+        if ctx.rank == 0:
+            empty = yield ctx.probe(source=1)
+            yield ctx.barrier()
+            yield ctx.barrier()  # rank 1 sends between the barriers
+            full = yield ctx.probe(source=1)
+            value = yield ctx.recv(source=1)
+            return (empty, full, value)
+        yield ctx.barrier()
+        yield ctx.send(0, "x")
+        yield ctx.barrier()
+
+    assert run_world(2, main)[0] == (False, True, "x")
+
+
+def test_deadlock_detected():
+    def main(ctx):
+        # Everyone receives, nobody sends.
+        yield ctx.recv(source=(ctx.rank + 1) % ctx.size)
+
+    with pytest.raises(DeadlockError, match="blocked"):
+        run_world(2, main)
+
+
+def test_send_to_invalid_rank():
+    def main(ctx):
+        yield ctx.send(5, "x")
+
+    with pytest.raises(MPIError):
+        run_world(2, main)
+
+
+def test_non_generator_rank_function():
+    with pytest.raises(MPIError):
+        run_world(2, lambda ctx: None)
+
+
+def test_exit_op_terminates_rank():
+    def main(ctx):
+        if ctx.rank == 0:
+            yield ctx.exit("early")
+            raise AssertionError("unreachable")  # pragma: no cover
+        yield ctx.barrier() if False else ctx.exit("also")
+
+    assert run_world(2, main) == ["early", "also"]
+
+
+def test_rank_and_size():
+    def main(ctx):
+        yield ctx.barrier()
+        return (ctx.rank, ctx.size)
+
+    assert run_world(3, main) == [(0, 3), (1, 3), (2, 3)]
+
+
+def test_max_ops_guard():
+    def main(ctx):
+        while True:
+            yield ctx.probe()
+
+    with pytest.raises(MPIError, match="max_ops"):
+        run_world(1, main, max_ops=100)

@@ -1,0 +1,102 @@
+"""Property-based tests of the MPI substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import run_world
+
+
+@given(
+    nprocs=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_random_permutation_routing(nprocs, seed):
+    """Messages routed along a random permutation all arrive correctly."""
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(nprocs).tolist()  # rank i sends to perm[i]
+    inverse = [perm.index(r) for r in range(nprocs)]
+
+    def main(ctx):
+        yield ctx.send(perm[ctx.rank], ("payload", ctx.rank))
+        tag, sender = yield ctx.recv(source=inverse[ctx.rank])
+        return (tag, sender)
+
+    results = run_world(nprocs, main)
+    for rank, (tag, sender) in enumerate(results):
+        assert tag == "payload"
+        assert perm[sender] == rank
+
+
+@given(
+    nprocs=st.integers(min_value=2, max_value=6),
+    rounds=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_allreduce_matches_sequential_sum(nprocs, rounds):
+    def main(ctx):
+        total = 0.0
+        for r in range(rounds):
+            total += yield ctx.allreduce(float(ctx.rank * r), op="sum")
+        return total
+
+    expected = sum(sum(float(r * k) for k in range(nprocs)) for r in range(rounds))
+    results = run_world(nprocs, main)
+    assert all(v == pytest.approx(expected) for v in results)
+
+
+@given(
+    nprocs=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_execution_deterministic(nprocs, seed):
+    """Identical programs produce identical results across executions."""
+
+    def build():
+        def main(ctx):
+            rng = np.random.default_rng(seed + ctx.rank)
+            value = float(rng.random())
+            gathered = yield ctx.allgather(value)
+            if ctx.size > 1:
+                yield ctx.send((ctx.rank + 1) % ctx.size, value)
+                other = yield ctx.recv(source=(ctx.rank - 1) % ctx.size)
+            else:
+                other = value
+            return (tuple(gathered), other)
+
+        return main
+
+    first = run_world(nprocs, build())
+    second = run_world(nprocs, build())
+    assert first == second
+
+
+@given(depth=st.integers(min_value=1, max_value=4))
+@settings(max_examples=10, deadline=None)
+def test_property_spawn_chain(depth):
+    """A chain of spawned generations relays a token back up intact."""
+
+    def link(ctx, remaining):
+        if remaining > 0:
+            inter = yield ctx.spawn(1, link, remaining - 1)
+            token = yield ctx.recv(source=0, comm=inter)
+        else:
+            token = 0
+        if ctx.parent is not None:
+            yield ctx.send(0, token + 1, comm=ctx.parent)
+            return None
+        return token
+
+    def root(ctx):
+        return (yield from link(ctx, depth))
+
+    # The chain has `depth` children below the root; token counts hops.
+    from repro.mpi import MPIExecutor
+
+    executor = MPIExecutor()
+    world = executor.create_world(1, link, args=(depth,))
+    executor.run()
+    assert executor.world_results(world) == [depth]

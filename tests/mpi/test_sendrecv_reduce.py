@@ -1,0 +1,87 @@
+"""Tests for Sendrecv and rooted Reduce."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import run_world
+
+
+def test_sendrecv_ring_exchange():
+    """The classic deadlock-prone ring exchange, deadlock-free."""
+
+    def main(ctx):
+        right = (ctx.rank + 1) % ctx.size
+        left = (ctx.rank - 1) % ctx.size
+        got = yield ctx.sendrecv(dest=right, value=ctx.rank, source=left)
+        return got
+
+    results = run_world(4, main)
+    assert results == [3, 0, 1, 2]
+
+
+def test_sendrecv_pairwise_swap():
+    def main(ctx):
+        peer = 1 - ctx.rank
+        data = np.full(3, float(ctx.rank))
+        got = yield ctx.sendrecv(dest=peer, value=data, source=peer)
+        return got.tolist()
+
+    results = run_world(2, main)
+    assert results[0] == [1.0, 1.0, 1.0]
+    assert results[1] == [0.0, 0.0, 0.0]
+
+
+def test_sendrecv_with_tags():
+    def main(ctx):
+        peer = 1 - ctx.rank
+        got = yield ctx.sendrecv(
+            dest=peer, value=f"msg-{ctx.rank}", source=peer,
+            sendtag=7, recvtag=7,
+        )
+        return got
+
+    assert run_world(2, main) == ["msg-1", "msg-0"]
+
+
+def test_reduce_root_only_gets_result():
+    def main(ctx):
+        got = yield ctx.reduce(ctx.rank + 1, root=2, op="sum")
+        return got
+
+    results = run_world(4, main)
+    assert results[2] == 10
+    assert results[0] is None and results[1] is None and results[3] is None
+
+
+def test_reduce_max():
+    def main(ctx):
+        return (yield ctx.reduce(ctx.rank * 3, root=0, op="max"))
+
+    assert run_world(4, main)[0] == 9
+
+
+def test_reduce_numpy():
+    def main(ctx):
+        v = np.ones(4) * (ctx.rank + 1)
+        got = yield ctx.reduce(v, root=0, op="sum")
+        return None if got is None else got.tolist()
+
+    results = run_world(3, main)
+    assert results[0] == [6.0] * 4
+
+
+def test_mpi4py_tutorial_pi_with_reduce():
+    """The compute-pi pattern from the mpi4py docs, with rooted reduce."""
+    N = 500
+
+    def main(ctx):
+        h = 1.0 / N
+        s = sum(
+            4.0 / (1.0 + ((i + 0.5) * h) ** 2)
+            for i in range(ctx.rank, N, ctx.size)
+        )
+        total = yield ctx.reduce(s * h, root=0, op="sum")
+        return total
+
+    results = run_world(4, main)
+    assert results[0] == pytest.approx(np.pi, abs=1e-4)

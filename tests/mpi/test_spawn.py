@@ -1,0 +1,152 @@
+"""Dynamic process management (MPI_Comm_spawn) tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MPIError
+from repro.mpi import MPIExecutor, run_world
+
+
+def test_spawn_children_and_intercomm_send():
+    def child(ctx):
+        data = yield ctx.recv(source=0, comm=ctx.parent)
+        return data * 2
+
+    def parent(ctx):
+        intercomm = yield ctx.spawn(2, child)
+        if ctx.rank == 0:
+            yield ctx.send(0, 10, comm=intercomm)
+            yield ctx.send(1, 20, comm=intercomm)
+        return "parent-done"
+
+    executor = MPIExecutor()
+    world = executor.create_world(1, parent)
+    results = executor.run()
+    assert executor.world_results(world) == ["parent-done"]
+    # Children are procs 1 and 2.
+    assert results[1] == 20
+    assert results[2] == 40
+
+
+def test_children_have_parent_intercomm():
+    def child(ctx):
+        yield ctx.barrier()
+        return ctx.parent is not None
+
+    def parent(ctx):
+        yield ctx.spawn(2, child)
+        return ctx.parent is None  # first world has no parent
+
+    results = run_world(2, parent)
+    assert results == [True, True]
+
+
+def test_child_to_parent_reply():
+    def child(ctx):
+        n = yield ctx.recv(source=0, comm=ctx.parent)
+        yield ctx.send(0, n + 1, comm=ctx.parent)
+
+    def parent(ctx):
+        intercomm = yield ctx.spawn(1, child)
+        if ctx.rank == 0:
+            yield ctx.send(0, 41, comm=intercomm)
+            answer = yield ctx.recv(source=0, comm=intercomm)
+            return answer
+        return None
+
+    assert run_world(1, parent)[0] == 42
+
+
+def test_spawn_is_collective_over_world():
+    """All parent ranks must join the spawn before children exist."""
+    trace = []
+
+    def child(ctx):
+        yield ctx.barrier()
+        trace.append("child-ran")
+
+    def parent(ctx):
+        if ctx.rank == 1:
+            yield ctx.barrier()  # sync before spawning
+        else:
+            yield ctx.barrier()
+        yield ctx.spawn(1, child)
+
+    run_world(2, parent)
+    assert trace == ["child-ran"]
+
+
+def test_spawn_signature_mismatch_detected():
+    def child_a(ctx):
+        yield ctx.barrier()
+
+    def child_b(ctx):
+        yield ctx.barrier()
+
+    def parent(ctx):
+        target = child_a if ctx.rank == 0 else child_b
+        yield ctx.spawn(1, target)
+
+    with pytest.raises(MPIError, match="disagree"):
+        run_world(2, parent)
+
+
+def test_spawn_args_forwarded():
+    def child(ctx, base, factor):
+        yield ctx.barrier()
+        return base * factor + ctx.rank
+
+    def parent(ctx):
+        yield ctx.spawn(2, child, 10, 3)
+
+    executor = MPIExecutor()
+    executor.create_world(1, parent)
+    results = executor.run()
+    assert results[1] == 30 and results[2] == 31
+
+
+def test_compute_pi_master_worker():
+    """The mpi4py dynamic-process-management tutorial pattern."""
+    N = 200
+
+    def worker(ctx):
+        n = yield ctx.bcast(None, root=0, comm=None)  # world bcast among workers
+        # Receive N from the parent instead (explicit message).
+        n = yield ctx.recv(source=0, comm=ctx.parent)
+        h = 1.0 / n
+        s = sum(
+            4.0 / (1.0 + ((i + 0.5) * h) ** 2)
+            for i in range(ctx.rank, n, ctx.size)
+        )
+        partial = s * h
+        total = yield ctx.allreduce(partial, op="sum")
+        if ctx.rank == 0:
+            yield ctx.send(0, total, comm=ctx.parent)
+
+    def master(ctx):
+        intercomm = yield ctx.spawn(4, worker)
+        for r in range(4):
+            yield ctx.send(r, N, comm=intercomm)
+        pi = yield ctx.recv(source=0, comm=intercomm)
+        return pi
+
+    pi = run_world(1, master)[0]
+    assert pi == pytest.approx(np.pi, abs=1e-3)
+
+
+def test_nested_spawn():
+    """Spawned worlds can spawn again (grandchildren)."""
+
+    def grandchild(ctx):
+        yield ctx.send(0, "gc", comm=ctx.parent)
+
+    def child(ctx):
+        inter = yield ctx.spawn(1, grandchild)
+        msg = yield ctx.recv(source=0, comm=inter)
+        yield ctx.send(0, f"child-saw-{msg}", comm=ctx.parent)
+
+    def parent(ctx):
+        inter = yield ctx.spawn(1, child)
+        return (yield ctx.recv(source=0, comm=inter))
+
+    assert run_world(1, parent)[0] == "child-saw-gc"

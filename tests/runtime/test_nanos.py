@@ -1,0 +1,221 @@
+"""Integration tests: NanosRuntime driving jobs through the full stack."""
+
+import pytest
+
+from repro.apps import AppModel, LinearScalability, flexible_sleep
+from repro.cluster import ClusterConfig
+from repro.core import ResizeRequest
+from repro.errors import RuntimeAPIError
+from repro.metrics import EventKind
+from repro.sim import Environment
+from repro.slurm import Job, JobClass, JobState, SlurmController
+from repro.runtime import NanosRuntime, RuntimeConfig, install_runtime_launcher
+
+
+def setup(nodes=20):
+    env = Environment()
+    cluster = ClusterConfig(num_nodes=nodes)
+    machine = cluster.build_machine()
+    ctl = SlurmController(env, machine)
+    return env, cluster, machine, ctl
+
+
+def fs_job(nodes, step_time=10.0, steps=2, name="fs", **fs_kw):
+    app = flexible_sleep(step_time=step_time, at_procs=nodes, steps=steps, **fs_kw)
+    return Job(
+        name=name,
+        num_nodes=nodes,
+        time_limit=10_000.0,
+        job_class=JobClass.MALLEABLE,
+        resize_request=app.resize,
+        payload=app,
+    )
+
+
+def rigid_job(nodes, step_time=10.0, steps=2, name="rigid"):
+    app = AppModel(
+        name="rigid-app",
+        iterations=steps,
+        serial_step_time=step_time * nodes,
+        state_bytes=0.0,
+        scalability=LinearScalability(),
+    )
+    return Job(
+        name=name,
+        num_nodes=nodes,
+        time_limit=10_000.0,
+        payload=app,
+    )
+
+
+class TestFixedExecution:
+    def test_rigid_job_runs_to_completion(self):
+        env, cluster, machine, ctl = setup()
+        install_runtime_launcher(ctl, cluster)
+        job = ctl.submit(rigid_job(4, step_time=10.0, steps=3))
+        env.run()
+        assert job.state is JobState.COMPLETED
+        assert job.execution_time == pytest.approx(30.0)
+        assert machine.used_count == 0
+
+    def test_rigid_job_never_checks(self):
+        env, cluster, _, ctl = setup()
+        install_runtime_launcher(ctl, cluster)
+        ctl.submit(rigid_job(4))
+        env.run()
+        assert ctl.trace.of_kind(EventKind.DMR_CHECK) == []
+
+    def test_launcher_rejects_missing_payload(self):
+        env, cluster, _, ctl = setup()
+        install_runtime_launcher(ctl, cluster)
+        ctl.submit(Job(name="bad", num_nodes=2, time_limit=10.0))
+        with pytest.raises(RuntimeAPIError):
+            env.run()
+
+
+class TestMalleableExecution:
+    def test_alone_job_expands_to_max(self):
+        """An FS job alone on an idle cluster grows to its maximum."""
+        env, cluster, machine, ctl = setup(nodes=20)
+        install_runtime_launcher(ctl, cluster)
+        job = ctl.submit(fs_job(4, step_time=40.0, steps=2))
+        env.run()
+        assert job.state is JobState.COMPLETED
+        # 4 -> 16 via factor 2 (20 not reachable: 4*2^2=16, *2=32 > 20).
+        assert [r[2] for r in job.resizes] == [16]
+        expands = ctl.trace.of_kind(EventKind.RESIZE_EXPAND)
+        assert len(expands) == 1
+
+    def test_expand_shortens_execution(self):
+        env, cluster, _, ctl = setup(nodes=16)
+        install_runtime_launcher(ctl, cluster)
+        flexible = ctl.submit(fs_job(4, step_time=40.0, steps=4, max_procs=16))
+        env.run()
+        flexible_time = flexible.execution_time
+
+        env2, cluster2, _, ctl2 = setup(nodes=16)
+        install_runtime_launcher(ctl2, cluster2)
+        fixed = ctl2.submit(rigid_job(4, step_time=40.0, steps=4))
+        env2.run()
+        assert flexible_time < fixed.execution_time
+
+    def test_shrink_frees_nodes_for_queued_job(self):
+        env, cluster, machine, ctl = setup(nodes=16)
+        install_runtime_launcher(ctl, cluster)
+        # Flexible job takes the whole machine; a rigid job then queues.
+        flex = ctl.submit(fs_job(16, step_time=30.0, steps=4, max_procs=16))
+        env.run(until=1.0)
+        queued = ctl.submit(rigid_job(8, step_time=5.0, steps=1))
+        env.run()
+        assert flex.state is JobState.COMPLETED
+        assert queued.state is JobState.COMPLETED
+        shrinks = ctl.trace.of_kind(EventKind.RESIZE_SHRINK)
+        assert len(shrinks) >= 1
+        # The queued job started before the flexible one finished.
+        assert queued.start_time < flex.end_time
+
+    def test_shrink_beneficiary_gets_boost(self):
+        env, cluster, _, ctl = setup(nodes=16)
+        install_runtime_launcher(ctl, cluster)
+        ctl.submit(fs_job(16, step_time=30.0, steps=4))
+        env.run(until=1.0)
+        queued = ctl.submit(rigid_job(8, step_time=5.0, steps=1))
+        env.run(until=40.0)
+        assert queued.priority_boost == float("inf")
+
+    def test_resize_costs_are_charged(self):
+        """Expansion takes spawn + redistribution time, not zero."""
+        env, cluster, _, ctl = setup(nodes=16)
+        install_runtime_launcher(ctl, cluster)
+        with_data = ctl.submit(
+            fs_job(4, step_time=40.0, steps=2, max_procs=16, state_bytes=4e9)
+        )
+        env.run()
+        t_with_data = with_data.execution_time
+
+        env2, cluster2, _, ctl2 = setup(nodes=16)
+        install_runtime_launcher(ctl2, cluster2)
+        no_data = ctl2.submit(
+            fs_job(4, step_time=40.0, steps=2, max_procs=16, state_bytes=0.0)
+        )
+        env2.run()
+        assert t_with_data > no_data.execution_time
+
+    def test_preferred_job_shrinks_to_preferred_when_queue_nonempty(self):
+        env, cluster, _, ctl = setup(nodes=20)
+        install_runtime_launcher(ctl, cluster)
+        app = flexible_sleep(
+            step_time=10.0, at_procs=16, steps=6, max_procs=16, preferred=4
+        )
+        job = Job(
+            name="pref",
+            num_nodes=16,
+            time_limit=10_000.0,
+            job_class=JobClass.MALLEABLE,
+            resize_request=app.resize,
+            payload=app,
+        )
+        ctl.submit(job)
+        env.run(until=1.0)
+        # A queued job that cannot start (needs 16, only 4 free).
+        blocked = ctl.submit(rigid_job(16, step_time=1.0, steps=1))
+        env.run(until=50.0)
+        assert 4 in [r[2] for r in job.resizes]
+
+    def test_check_count_and_inhibitor(self):
+        env, cluster, _, ctl = setup(nodes=4)
+        # Occupy everything so no resize is possible - checks still happen.
+        install_runtime_launcher(ctl, cluster)
+        job = ctl.submit(fs_job(4, step_time=2.0, steps=10, max_procs=4, min_procs=4))
+        env.run()
+        checks = ctl.trace.of_kind(EventKind.DMR_CHECK)
+        assert len(checks) == 10  # one per iteration, no inhibitor
+
+    def test_sched_period_inhibits_checks(self):
+        env, cluster, _, ctl = setup(nodes=4)
+        install_runtime_launcher(ctl, cluster)
+        job = ctl.submit(
+            fs_job(
+                4,
+                step_time=2.0,
+                steps=10,
+                max_procs=4,
+                min_procs=4,
+                sched_period=100.0,
+            )
+        )
+        env.run()
+        # Period 100 s >> runtime: every check inhibited.
+        assert ctl.trace.of_kind(EventKind.DMR_CHECK) == []
+
+    def test_sync_check_cost_slows_execution(self):
+        env, cluster, _, ctl = setup(nodes=4)
+        install_runtime_launcher(ctl, cluster, RuntimeConfig(check_cost=1.0))
+        job = ctl.submit(fs_job(4, step_time=2.0, steps=10, max_procs=4, min_procs=4))
+        env.run()
+        # 10 steps x 2 s + 10 checks x 1 s.
+        assert job.execution_time == pytest.approx(30.0)
+
+
+class TestAsyncMode:
+    def test_async_applies_decision_one_step_late(self):
+        env, cluster, _, ctl = setup(nodes=16)
+        install_runtime_launcher(ctl, cluster, RuntimeConfig(async_mode=True))
+        job = ctl.submit(fs_job(4, step_time=10.0, steps=4, max_procs=16))
+        env.run()
+        assert job.state is JobState.COMPLETED
+        expands = ctl.trace.of_kind(EventKind.RESIZE_EXPAND)
+        assert len(expands) == 1
+        # Decision negotiated at step-0 boundary (t=0) is applied at the
+        # step-1 boundary (t=10), not immediately.
+        assert expands[0].time >= 10.0
+
+    def test_async_checks_do_not_block(self):
+        env, cluster, _, ctl = setup(nodes=4)
+        install_runtime_launcher(
+            ctl, cluster, RuntimeConfig(async_mode=True, check_cost=5.0)
+        )
+        job = ctl.submit(fs_job(4, step_time=2.0, steps=10, max_procs=4, min_procs=4))
+        env.run()
+        # check_cost never charged in async mode.
+        assert job.execution_time == pytest.approx(20.0)

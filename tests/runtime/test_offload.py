@@ -1,0 +1,76 @@
+"""Tests for the OmpSs offload-semantics API (task/onto/taskwait)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RuntimeAPIError
+from repro.mpi import MPIExecutor, run_world
+from repro.runtime import OffloadRegion, receive_offload
+
+
+def test_offload_roundtrip():
+    def child(ctx):
+        data, resume_at = yield from receive_offload(ctx)
+        return (data.tolist(), resume_at, ctx.rank)
+
+    def parent(ctx):
+        handler = yield ctx.spawn(2, child)
+        region = OffloadRegion(ctx, handler)
+        yield from region.task(0, np.array([1.0, 2.0]), resume_at=7)
+        yield from region.task(1, np.array([3.0, 4.0]), resume_at=7)
+        count = yield from region.taskwait()
+        return count
+
+    executor = MPIExecutor()
+    world = executor.create_world(1, parent)
+    results = executor.run()
+    assert executor.world_results(world) == [2]
+    assert results[1] == ([1.0, 2.0], 7, 0)
+    assert results[2] == ([3.0, 4.0], 7, 1)
+
+
+def test_offload_region_tracks_destinations():
+    def child(ctx):
+        yield from receive_offload(ctx)
+
+    def parent(ctx):
+        handler = yield ctx.spawn(2, child)
+        region = OffloadRegion(ctx, handler)
+        yield from region.task(1, "x")
+        yield from region.task(0, "y")
+        yield from region.taskwait()
+        return region.offloaded
+
+    assert run_world(1, parent)[0] == (1, 0)
+
+
+def test_task_after_taskwait_rejected():
+    def child(ctx):
+        yield from receive_offload(ctx)
+
+    def parent(ctx):
+        handler = yield ctx.spawn(1, child)
+        region = OffloadRegion(ctx, handler)
+        yield from region.task(0, "x")
+        yield from region.taskwait()
+        with pytest.raises(RuntimeAPIError, match="closed"):
+            yield from region.task(0, "again")
+
+    run_world(1, parent)
+
+
+def test_onto_requires_intercommunicator():
+    def parent(ctx):
+        with pytest.raises(RuntimeAPIError, match="intercommunicator"):
+            OffloadRegion(ctx, handler="not-a-comm")
+        yield ctx.barrier()
+
+    run_world(1, parent)
+
+
+def test_receive_offload_requires_parent():
+    def orphan(ctx):
+        with pytest.raises(RuntimeAPIError, match="MPI_COMM_NULL"):
+            yield from receive_offload(ctx)
+
+    run_world(1, orphan)

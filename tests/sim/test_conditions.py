@@ -1,0 +1,116 @@
+"""Tests for AllOf / AnyOf condition events."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+
+    def proc():
+        t1, t2 = env.timeout(1, "a"), env.timeout(3, "b")
+        result = yield env.all_of([t1, t2])
+        return (env.now, result[t1], result[t2])
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == (3, "a", "b")
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+
+    def proc():
+        t1, t2 = env.timeout(5, "slow"), env.timeout(1, "fast")
+        result = yield env.any_of([t1, t2])
+        return (env.now, t2 in result, t1 in result)
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == (1, True, False)
+
+
+def test_empty_all_of_fires_immediately():
+    env = Environment()
+
+    def proc():
+        yield env.all_of([])
+        return env.now
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == 0
+
+
+def test_empty_any_of_fires_immediately():
+    env = Environment()
+
+    def proc():
+        yield env.any_of([])
+        return env.now
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == 0
+
+
+def test_condition_value_mapping_interface():
+    env = Environment()
+    holder = {}
+
+    def proc():
+        t1 = env.timeout(1, "x")
+        result = yield env.all_of([t1])
+        holder["res"] = result
+        holder["t1"] = t1
+
+    env.process(proc())
+    env.run()
+    res, t1 = holder["res"], holder["t1"]
+    assert res[t1] == "x"
+    assert len(res) == 1
+    assert list(res) == [t1]
+    assert res == {t1: "x"}
+    with pytest.raises(KeyError):
+        _ = res[env.event()]
+
+
+def test_condition_failure_propagates():
+    env = Environment()
+
+    def failer():
+        yield env.timeout(1)
+        raise ValueError("nope")
+
+    def proc():
+        with pytest.raises(ValueError, match="nope"):
+            yield env.all_of([env.process(failer()), env.timeout(10)])
+        return "handled"
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == "handled"
+
+
+def test_cross_environment_events_rejected():
+    env1, env2 = Environment(), Environment()
+    with pytest.raises(SimulationError):
+        env1.all_of([env2.timeout(1)])
+
+
+def test_any_of_with_already_processed_event():
+    env = Environment()
+    done = {}
+
+    def proc(ev):
+        yield env.timeout(5)
+        result = yield env.any_of([ev, env.timeout(100)])
+        done["now"] = env.now
+        done["has"] = ev in result
+
+    ev = env.timeout(1, value="pre")
+    env.process(proc(ev))
+    env.run(until=20)
+    assert done == {"now": 5, "has": True}

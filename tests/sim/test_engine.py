@@ -1,0 +1,136 @@
+"""Unit tests for the DES engine: clock, ordering, run() semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import EmptySchedule, Environment
+
+
+def test_initial_time_defaults_to_zero():
+    assert Environment().now == 0.0
+
+
+def test_initial_time_can_be_set():
+    assert Environment(100.0).now == 100.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    env.timeout(5.0)
+    env.step()
+    assert env.now == 5.0
+
+
+def test_run_until_time():
+    env = Environment()
+    env.timeout(3.0)
+    env.timeout(10.0)
+    env.run(until=7.0)
+    assert env.now == 7.0
+
+
+def test_run_until_past_raises():
+    env = Environment(50.0)
+    with pytest.raises(SimulationError):
+        env.run(until=10.0)
+
+
+def test_run_drains_schedule():
+    env = Environment()
+    env.timeout(1.0)
+    env.timeout(2.0)
+    env.run()
+    assert env.now == 2.0
+
+
+def test_step_on_empty_schedule_raises():
+    with pytest.raises(EmptySchedule):
+        Environment().step()
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(4.2)
+    assert env.peek() == 4.2
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_same_time_events_fifo_order():
+    env = Environment()
+    fired = []
+    for tag in range(5):
+        ev = env.timeout(1.0, value=tag)
+        ev.callbacks.append(lambda e: fired.append(e.value))
+    env.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(2.0)
+        return "done"
+
+    p = env.process(proc())
+    assert env.run(until=p) == "done"
+    assert env.now == 2.0
+
+
+def test_run_until_already_processed_event():
+    env = Environment()
+    ev = env.timeout(1.0, value="v")
+    env.run()
+    assert env.run(until=ev) == "v"
+
+
+def test_run_out_of_events_before_until_raises():
+    env = Environment()
+    ev = env.event()  # never triggered
+    with pytest.raises(SimulationError):
+        env.run(until=ev)
+
+
+def test_event_succeed_once_only():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_unhandled_failure_crashes_run():
+    env = Environment()
+    ev = env.event()
+    ev.fail(ValueError("boom"))
+    with pytest.raises(ValueError, match="boom"):
+        env.run()
+
+
+def test_defused_failure_does_not_crash():
+    env = Environment()
+    ev = env.event()
+    ev.fail(ValueError("boom"))
+    ev.defuse()
+    env.run()  # no exception
+
+
+def test_value_before_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+    with pytest.raises(SimulationError):
+        _ = ev.ok

@@ -1,0 +1,205 @@
+"""Unit tests for generator processes: waiting, returning, interrupts."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Interrupt
+
+
+def test_process_waits_on_timeouts():
+    env = Environment()
+    trace = []
+
+    def proc():
+        trace.append(env.now)
+        yield env.timeout(1.5)
+        trace.append(env.now)
+        yield env.timeout(2.5)
+        trace.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert trace == [0.0, 1.5, 4.0]
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1)
+        return 42
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == 42
+
+
+def test_timeout_value_passed_into_generator():
+    env = Environment()
+    got = []
+
+    def proc():
+        got.append((yield env.timeout(1, value="hello")))
+
+    env.process(proc())
+    env.run()
+    assert got == ["hello"]
+
+
+def test_process_waits_on_another_process():
+    env = Environment()
+
+    def child():
+        yield env.timeout(3)
+        return "child-result"
+
+    def parent():
+        result = yield env.process(child())
+        return result
+
+    p = env.process(parent())
+    env.run()
+    assert p.value == "child-result"
+    assert env.now == 3
+
+
+def test_exception_in_process_propagates_to_run():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1)
+        raise RuntimeError("kaput")
+
+    env.process(proc())
+    with pytest.raises(RuntimeError, match="kaput"):
+        env.run()
+
+
+def test_exception_propagates_to_waiting_parent():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1)
+        raise RuntimeError("inner")
+
+    def parent():
+        try:
+            yield env.process(child())
+        except RuntimeError as exc:
+            return f"caught {exc}"
+
+    p = env.process(parent())
+    env.run()
+    assert p.value == "caught inner"
+
+
+def test_yield_non_event_crashes_process():
+    env = Environment()
+
+    def proc():
+        yield "not an event"
+
+    env.process(proc())
+    with pytest.raises(SimulationError, match="non-event"):
+        env.run()
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    log = []
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        except Interrupt as exc:
+            log.append((env.now, exc.cause))
+
+    def attacker(target):
+        yield env.timeout(5)
+        target.interrupt(cause="shrink-now")
+
+    v = env.process(victim())
+    env.process(attacker(v))
+    env.run()
+    assert log == [(5, "shrink-now")]
+
+
+def test_interrupt_unsubscribes_from_old_target():
+    env = Environment()
+    resumed = []
+
+    def victim():
+        try:
+            yield env.timeout(10)
+        except Interrupt:
+            pass
+        yield env.timeout(1)
+        resumed.append(env.now)
+
+    def attacker(target):
+        yield env.timeout(2)
+        target.interrupt()
+
+    v = env.process(victim())
+    env.process(attacker(v))
+    env.run()
+    # After the interrupt at t=2 the victim waits 1 more unit; the stale
+    # t=10 timeout must NOT resume it a second time.
+    assert resumed == [3]
+
+
+def test_interrupting_dead_process_raises():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+
+    p = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_process_cannot_interrupt_itself():
+    env = Environment()
+
+    def proc():
+        with pytest.raises(SimulationError):
+            env.active_process.interrupt()
+        yield env.timeout(0)
+
+    env.process(proc())
+    env.run()
+
+
+def test_is_alive_flag():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(5)
+
+    p = env.process(proc())
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_non_generator_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_yield_already_processed_event_continues_immediately():
+    env = Environment()
+    trace = []
+
+    def proc(ev):
+        yield env.timeout(5)
+        val = yield ev  # ev fired at t=1, already processed
+        trace.append((env.now, val))
+
+    ev = env.timeout(1, value="early")
+    env.process(proc(ev))
+    env.run()
+    assert trace == [(5, "early")]

@@ -1,0 +1,127 @@
+"""Tests for Store and Resource coordination primitives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Resource, Store
+
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+    store.put("msg")
+
+    def proc():
+        item = yield store.get()
+        return item
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == "msg"
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    arrival = {}
+
+    def consumer():
+        item = yield store.get()
+        arrival["t"] = env.now
+        arrival["item"] = item
+
+    def producer():
+        yield env.timeout(4)
+        store.put("late")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert arrival == {"t": 4, "item": "late"}
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            got.append((yield store.get()))
+
+    env.process(consumer())
+    for x in (1, 2, 3):
+        store.put(x)
+    env.run()
+    assert got == [1, 2, 3]
+
+
+def test_store_try_get_nonblocking():
+    env = Environment()
+    store = Store(env)
+    assert store.try_get() is None
+    store.put("a")
+    assert store.try_get() == "a"
+    assert len(store) == 0
+
+
+def test_store_items_snapshot():
+    env = Environment()
+    store = Store(env)
+    store.put(1)
+    store.put(2)
+    assert store.items == (1, 2)
+
+
+def test_resource_capacity_validation():
+    with pytest.raises(SimulationError):
+        Resource(Environment(), capacity=0)
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    order = []
+
+    def worker(tag, hold):
+        req = res.request()
+        yield req
+        order.append((tag, env.now))
+        yield env.timeout(hold)
+        res.release()
+
+    env.process(worker("a", 5))
+    env.process(worker("b", 5))
+    env.process(worker("c", 5))
+    env.run()
+    # a,b start immediately; c waits for a release at t=5.
+    assert order == [("a", 0), ("b", 0), ("c", 5)]
+    assert res.in_use == 0
+
+
+def test_resource_release_without_request_raises():
+    env = Environment()
+    res = Resource(env)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_queued_count():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder():
+        yield res.request()
+        yield env.timeout(10)
+        res.release()
+
+    def waiter():
+        yield res.request()
+        res.release()
+
+    env.process(holder())
+    env.process(waiter())
+    env.run(until=5)
+    assert res.queued == 1
+    env.run()
+    assert res.queued == 0

@@ -1,0 +1,82 @@
+"""Tests for the sacct-style accounting layer."""
+
+import pytest
+
+from repro.slurm import Accounting, Job, JobClass, JobRecord, JobState
+
+
+def finished(jid, submit=0.0, start=10.0, end=110.0, nodes=4, name=None):
+    job = Job(name=name or f"j{jid}", num_nodes=nodes, time_limit=1e6)
+    job.job_id = jid
+    job.submit_time, job.start_time = submit, start
+    job.transition(JobState.RUNNING)
+    job.transition(JobState.COMPLETED)
+    job.end_time = end
+    return job
+
+
+def test_record_basic_fields():
+    rec = JobRecord.from_job(finished(1))
+    assert rec.wait_time == 10.0
+    assert rec.elapsed == 100.0
+    assert rec.state == "completed"
+    assert rec.node_seconds == 400.0  # 4 nodes x 100 s
+
+
+def test_record_with_resizes_integrates_node_seconds():
+    job = finished(1, start=0.0, end=100.0, nodes=8)
+    # 8 nodes for 20 s, then 4 nodes for 30 s, then 16 for 50 s.
+    job.resizes = [(20.0, 8, 4), (50.0, 4, 16)]
+    job.num_nodes = 16
+    rec = JobRecord.from_job(job)
+    assert rec.node_seconds == pytest.approx(8 * 20 + 4 * 30 + 16 * 50)
+    assert rec.resize_count == 2
+    assert rec.submitted_nodes == 8
+    assert rec.final_nodes == 16
+
+
+def test_record_pending_job():
+    job = Job(name="p", num_nodes=2, time_limit=10.0)
+    job.job_id = 5
+    job.submit_time = 3.0
+    rec = JobRecord.from_job(job)
+    assert rec.wait_time is None
+    assert rec.elapsed is None
+    assert rec.node_seconds == 0.0
+
+
+def test_accounting_excludes_resizers_by_default():
+    rj = finished(2)
+    rj.is_resizer = True
+    acct = Accounting([finished(1), rj])
+    assert len(acct) == 1
+    assert len(Accounting([finished(1), rj], include_resizers=True)) == 2
+
+
+def test_accounting_aggregates():
+    acct = Accounting([finished(1, start=10.0), finished(2, start=30.0, submit=0.0)])
+    assert acct.mean_wait() == pytest.approx(20.0)
+    assert acct.total_node_seconds() == pytest.approx(400.0 + 4 * 80.0)
+    assert acct.total_resizes() == 0
+    assert len(acct.completed()) == 2
+
+
+def test_by_state():
+    cancelled = Job(name="c", num_nodes=1, time_limit=5.0)
+    cancelled.job_id = 3
+    cancelled.submit_time = 0.0
+    cancelled.transition(JobState.CANCELLED)
+    acct = Accounting([finished(1), cancelled])
+    assert len(acct.by_state(JobState.CANCELLED)) == 1
+    assert len(acct.by_state(JobState.COMPLETED)) == 1
+
+
+def test_sacct_table_renders():
+    text = Accounting([finished(1, name="myjob")]).sacct_table()
+    assert "myjob" in text
+    assert "jobid" in text
+    assert "4->4" in text
+
+
+def test_mean_wait_empty():
+    assert Accounting([]).mean_wait() == 0.0

@@ -1,0 +1,125 @@
+"""Tests for the Slurm external API facade (Section III step by step)."""
+
+import pytest
+
+from repro.apps import flexible_sleep
+from repro.cluster import Machine
+from repro.core import ResizeRequest
+from repro.errors import SchedulerError
+from repro.sim import Environment
+from repro.slurm import Job, JobClass, JobState, SlurmAPI, SlurmController
+
+
+def make_api(nodes=16):
+    env = Environment()
+    machine = Machine(nodes)
+    ctl = SlurmController(env, machine)
+    return env, machine, ctl, SlurmAPI(ctl)
+
+
+def malleable(nodes):
+    return Job(
+        name="flex",
+        num_nodes=nodes,
+        time_limit=1000.0,
+        job_class=JobClass.MALLEABLE,
+        resize_request=ResizeRequest(min_procs=1, max_procs=16),
+    )
+
+
+def test_expand_protocol_step_by_step():
+    """Drive the Section III expansion steps manually through the API."""
+    env, machine, ctl, api = make_api()
+    job_a = api.submit(malleable(4))
+    env.run(until=0.1)
+    assert job_a.is_running and job_a.num_nodes == 4
+
+    # Step 1: submit job B with a dependency on A, requesting N_B nodes.
+    job_b = api.submit_dependent(job_a, extra_nodes=4)
+    env.run(until=0.2)
+    assert job_b.is_running
+    assert job_b.dependency == job_a.job_id
+    assert machine.used_count == 8
+
+    # Step 2: update B to 0 nodes -> detached allocated set.
+    detached = api.update_job_to_zero_nodes(job_b)
+    assert len(detached) == 4
+    assert all(machine.owner_of(i) is None for i in detached)
+
+    # Step 3: cancel B.
+    api.cancel(job_b)
+    assert job_b.state is JobState.CANCELLED
+
+    # Step 4: update A to N_A + N_B.
+    nodes = api.update_job_nodes(job_a, 8, attach=detached)
+    assert job_a.num_nodes == 8
+    assert len(nodes) == 8
+    assert machine.used_count == 8
+
+
+def test_shrink_is_single_update():
+    env, machine, ctl, api = make_api()
+    job = api.submit(malleable(8))
+    env.run(until=0.1)
+    nodes = api.update_job_nodes(job, 2)
+    assert job.num_nodes == 2
+    assert len(nodes) == 2
+    assert machine.free_count == 14
+
+
+def test_update_same_size_is_noop():
+    env, machine, ctl, api = make_api()
+    job = api.submit(malleable(4))
+    env.run(until=0.1)
+    assert api.update_job_nodes(job, 4) == machine.nodes_of(job.job_id)
+
+
+def test_grow_requires_matching_node_set():
+    env, machine, ctl, api = make_api()
+    job = api.submit(malleable(4))
+    env.run(until=0.1)
+    with pytest.raises(SchedulerError):
+        api.update_job_nodes(job, 8)  # no attach set
+    with pytest.raises(SchedulerError):
+        api.update_job_nodes(job, 8, attach=(9,))  # wrong count
+
+
+def test_update_time_limit():
+    env, machine, ctl, api = make_api()
+    job = api.submit(malleable(4))
+    api.update_time_limit(job, 123.0)
+    assert job.time_limit == 123.0
+    with pytest.raises(SchedulerError):
+        api.update_time_limit(job, 0.0)
+
+
+def test_squeue_and_running_views():
+    env, machine, ctl, api = make_api(nodes=4)
+    a = api.submit(malleable(4))
+    b = api.submit(malleable(4))
+    env.run(until=0.1)
+    assert a in api.running()
+    assert b in api.squeue()
+
+
+def test_job_nodelist_hostnames():
+    env, machine, ctl, api = make_api()
+    job = api.submit(malleable(2))
+    env.run(until=0.1)
+    assert api.job_nodelist(job) == ("mn0000", "mn0001")
+
+
+def test_check_status_passthrough():
+    env, machine, ctl, api = make_api()
+    job = api.submit(malleable(4))
+    env.run(until=0.1)
+    decision = api.check_status(job, job.resize_request)
+    assert decision.target_procs == 16  # idle machine -> expand to max
+
+
+def test_dependent_without_max_priority():
+    env, machine, ctl, api = make_api()
+    parent = api.submit(malleable(4))
+    env.run(until=0.1)
+    rj = api.submit_dependent(parent, 2, max_priority=False)
+    assert rj.priority_boost == 0.0

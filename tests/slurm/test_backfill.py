@@ -1,0 +1,117 @@
+"""Tests for the EASY-backfill planner."""
+
+from repro.slurm import Job, compute_shadow, plan_backfill
+
+
+def pend(nodes, limit=100.0, jid=0, submit=0.0):
+    job = Job(name=f"p{jid}", num_nodes=nodes, time_limit=limit)
+    job.job_id = jid
+    job.submit_time = submit
+    return job
+
+
+def run(nodes, start, limit, jid=100):
+    job = Job(name=f"r{jid}", num_nodes=nodes, time_limit=limit)
+    job.job_id = jid
+    job.start_time = start
+    return job
+
+
+def test_everything_fits():
+    starts, res = plan_backfill([pend(2, jid=1), pend(3, jid=2)], [], 8, now=0.0)
+    assert [j.job_id for j in starts] == [1, 2]
+    assert res is None
+
+
+def test_priority_order_respected():
+    starts, res = plan_backfill([pend(5, jid=1), pend(5, jid=2)], [], 8, now=0.0)
+    assert [j.job_id for j in starts] == [1]
+    assert res is not None
+    assert res.job.job_id == 2
+
+
+def test_shadow_time_from_running_jobs():
+    running = [run(4, start=0.0, limit=50.0), run(4, start=0.0, limit=90.0)]
+    blocked = pend(6, jid=1)
+    res = compute_shadow(blocked, free_now=2, running=running, now=10.0)
+    # Needs 6: 2 free + 4 at t=50 -> shadow 50; at that point 6 free, 0 extra.
+    assert res.shadow_time == 50.0
+    assert res.extra_nodes == 0
+
+
+def test_shadow_extra_nodes():
+    running = [run(6, start=0.0, limit=50.0)]
+    blocked = pend(4, jid=1)
+    res = compute_shadow(blocked, free_now=2, running=running, now=0.0)
+    assert res.shadow_time == 50.0
+    assert res.extra_nodes == 4  # 8 available, 4 reserved
+
+
+def test_shadow_impossible_job():
+    res = compute_shadow(pend(100, jid=1), 2, [run(4, 0.0, 10.0)], now=0.0)
+    assert res.shadow_time == float("inf")
+
+
+def test_backfill_short_job_before_shadow():
+    running = [run(6, start=0.0, limit=100.0)]
+    queue = [pend(8, jid=1), pend(2, limit=50.0, jid=2)]
+    starts, res = plan_backfill(queue, running, free_nodes=2, now=0.0)
+    # Head needs 8 -> blocked until t=100. Job 2 fits in the 2 free nodes
+    # and ends at t=50 <= shadow 100 -> backfilled.
+    assert [j.job_id for j in starts] == [2]
+    assert res.shadow_time == 100.0
+
+
+def test_backfill_long_job_blocked_by_reservation():
+    running = [run(6, start=0.0, limit=100.0)]
+    queue = [pend(8, jid=1), pend(2, limit=500.0, jid=2)]
+    starts, _ = plan_backfill(queue, running, free_nodes=2, now=0.0)
+    # Job 2 would end after the shadow and the reservation leaves 0 extra
+    # nodes (8 available at t=100, all reserved) -> cannot backfill.
+    assert starts == []
+
+
+def test_backfill_long_job_on_extra_nodes():
+    running = [run(6, start=0.0, limit=100.0)]
+    queue = [pend(6, jid=1), pend(2, limit=500.0, jid=2)]
+    starts, res = plan_backfill(queue, running, free_nodes=2, now=0.0)
+    # At shadow t=100: 8 nodes available, 6 reserved, 2 extra -> the long
+    # 2-node job may run beside the reservation.
+    assert [j.job_id for j in starts] == [2]
+    assert res.extra_nodes == 2
+
+
+def test_backfill_consumes_extra_nodes():
+    running = [run(4, start=0.0, limit=100.0)]
+    queue = [
+        pend(6, jid=1),
+        pend(2, limit=500.0, jid=2),
+        pend(2, limit=500.0, jid=3),
+    ]
+    starts, _ = plan_backfill(queue, running, free_nodes=4, now=0.0)
+    # 8 available at shadow, 6 reserved -> 2 extra. Job 2 takes both extra
+    # nodes; job 3 (long) must not start even though 2 nodes are free now.
+    assert [j.job_id for j in starts] == [2]
+
+
+def test_backfill_respects_current_free_nodes():
+    running = [run(7, start=0.0, limit=100.0)]
+    queue = [pend(8, jid=1), pend(3, limit=10.0, jid=2)]
+    starts, _ = plan_backfill(queue, running, free_nodes=1, now=0.0)
+    # Only 1 node free now; the short job needs 3 -> nothing starts.
+    assert starts == []
+
+
+def test_multiple_immediate_starts_then_blocked():
+    queue = [pend(3, jid=1), pend(3, jid=2), pend(9, jid=3), pend(2, limit=1.0, jid=4)]
+    running = [run(2, start=0.0, limit=30.0)]
+    starts, res = plan_backfill(queue, running, free_nodes=8, now=0.0)
+    # Jobs 1,2 start (8->2 free). Job 3 blocked (needs 9). Job 4 (2 nodes,
+    # ends t=1 < shadow) backfills.
+    assert [j.job_id for j in starts] == [1, 2, 4]
+    assert res.job.job_id == 3
+
+
+def test_empty_queue():
+    starts, res = plan_backfill([], [], 8, now=0.0)
+    assert starts == [] and res is None

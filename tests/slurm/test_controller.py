@@ -1,0 +1,329 @@
+"""Integration tests for the Slurm controller and the resize protocol."""
+
+import pytest
+
+from repro.cluster import Machine
+from repro.core import ResizeAction, ResizeRequest
+from repro.errors import SchedulerError
+from repro.metrics import EventKind
+from repro.sim import Environment
+from repro.slurm import (
+    Job,
+    JobClass,
+    JobState,
+    SlurmConfig,
+    SlurmController,
+    expand_protocol,
+    shrink_protocol,
+)
+
+
+def make_setup(nodes=16):
+    env = Environment()
+    machine = Machine(nodes)
+    ctl = SlurmController(env, machine)
+    return env, machine, ctl
+
+
+def rigid(nodes, limit=100.0, name="job"):
+    return Job(name=name, num_nodes=nodes, time_limit=limit)
+
+
+def malleable(nodes, limit=100.0, name="flex", **req):
+    defaults = dict(min_procs=1, max_procs=16)
+    defaults.update(req)
+    return Job(
+        name=name,
+        num_nodes=nodes,
+        time_limit=limit,
+        job_class=JobClass.MALLEABLE,
+        resize_request=ResizeRequest(**defaults),
+    )
+
+
+class TestSubmissionAndDispatch:
+    def test_submit_assigns_id_and_time(self):
+        env, _, ctl = make_setup()
+        env.run(until=5.0)
+        job = ctl.submit(rigid(4))
+        assert job.job_id == 1
+        assert job.submit_time == 5.0
+        assert job.state is JobState.PENDING
+
+    def test_double_submit_rejected(self):
+        env, _, ctl = make_setup()
+        job = ctl.submit(rigid(4))
+        with pytest.raises(SchedulerError):
+            ctl.submit(job)
+
+    def test_job_starts_when_nodes_available(self):
+        env, machine, ctl = make_setup()
+        job = ctl.submit(rigid(4))
+        env.run(until=0.1)
+        assert job.state is JobState.RUNNING
+        assert job.nodes == (0, 1, 2, 3)
+        assert machine.used_count == 4
+
+    def test_job_waits_when_cluster_full(self):
+        env, _, ctl = make_setup(nodes=8)
+        first = ctl.submit(rigid(8, limit=50.0))
+        second = ctl.submit(rigid(4))
+        env.run(until=1.0)
+        assert first.is_running
+        assert second.is_pending
+
+    def test_finish_releases_and_starts_next(self):
+        env, machine, ctl = make_setup(nodes=8)
+        first = ctl.submit(rigid(8, limit=50.0))
+        second = ctl.submit(rigid(4))
+
+        def finisher():
+            yield env.timeout(10.0)
+            ctl.finish_job(first)
+
+        env.process(finisher())
+        env.run(until=20.0)
+        assert first.state is JobState.COMPLETED
+        assert first.end_time == 10.0
+        assert second.is_running
+        assert second.start_time == 10.0
+        assert machine.used_count == 4
+
+    def test_launcher_hook_called_for_normal_jobs(self):
+        env, _, ctl = make_setup()
+        launched = []
+        ctl.launcher = lambda job: launched.append(job.name)
+        ctl.submit(rigid(2, name="a"))
+        ctl.submit(rigid(2, name="b"))
+        env.run(until=0.1)
+        assert launched == ["a", "b"]
+
+    def test_started_event_fires(self):
+        env, _, ctl = make_setup()
+        job = ctl.submit(rigid(2))
+        got = []
+
+        def waiter():
+            j = yield ctl.started_event(job)
+            got.append((env.now, j.job_id))
+
+        env.process(waiter())
+        env.run(until=1.0)
+        assert got == [(0.0, job.job_id)]
+
+    def test_finish_unstarted_job_rejected(self):
+        env, _, ctl = make_setup(nodes=2)
+        blocker = ctl.submit(rigid(2, limit=100.0))
+        waiting = ctl.submit(rigid(2))
+        env.run(until=0.1)
+        with pytest.raises(SchedulerError):
+            ctl.finish_job(waiting)
+
+    def test_cancel_pending_job(self):
+        env, _, ctl = make_setup(nodes=2)
+        ctl.submit(rigid(2, limit=100.0))
+        waiting = ctl.submit(rigid(2))
+        env.run(until=0.1)
+        ctl.cancel_job(waiting)
+        assert waiting.state is JobState.CANCELLED
+        assert waiting not in ctl.pending_jobs()
+
+    def test_cancel_running_job_releases_nodes(self):
+        env, machine, ctl = make_setup()
+        job = ctl.submit(rigid(4))
+        env.run(until=0.1)
+        ctl.cancel_job(job)
+        assert machine.used_count == 0
+        assert job.state is JobState.CANCELLED
+
+    def test_all_done(self):
+        env, _, ctl = make_setup()
+        job = ctl.submit(rigid(4))
+        assert not ctl.all_done()
+        env.run(until=0.1)
+        ctl.finish_job(job)
+        assert ctl.all_done()
+
+    def test_get_job_lookup(self):
+        env, _, ctl = make_setup()
+        job = ctl.submit(rigid(4))
+        assert ctl.get_job(job.job_id) is job
+        with pytest.raises(SchedulerError):
+            ctl.get_job(999)
+
+    def test_trace_records_lifecycle(self):
+        env, _, ctl = make_setup()
+        job = ctl.submit(rigid(4))
+        env.run(until=0.1)
+        ctl.finish_job(job)
+        kinds = [e.kind for e in ctl.trace.of_job(job.job_id)]
+        assert EventKind.JOB_SUBMIT in kinds
+        assert EventKind.JOB_START in kinds
+        assert EventKind.JOB_END in kinds
+
+
+class TestDependencies:
+    def test_dependent_job_waits_for_parent_start(self):
+        env, _, ctl = make_setup(nodes=8)
+        parent = ctl.submit(rigid(9, limit=50.0))  # cannot start: too big
+        child = rigid(2)
+        child.dependency = parent.job_id
+        ctl.submit(child)
+        env.run(until=1.0)
+        # Parent pending -> child must not start even though nodes are free.
+        assert child.is_pending
+
+
+class TestExpandProtocol:
+    def test_expand_success_transfers_nodes(self):
+        env, machine, ctl = make_setup(nodes=16)
+        job = ctl.submit(malleable(4))
+        env.run(until=0.1)
+        results = []
+
+        def run_expand():
+            new_nodes = yield from expand_protocol(ctl, job, target_nodes=8)
+            results.append(new_nodes)
+
+        env.process(run_expand())
+        env.run(until=5.0)
+        assert results == [(0, 1, 2, 3, 4, 5, 6, 7)]
+        assert job.num_nodes == 8
+        assert machine.nodes_of(job.job_id) == (0, 1, 2, 3, 4, 5, 6, 7)
+        # The resizer job came and went.
+        resizers = [j for j in ctl.finished if j.is_resizer]
+        assert len(resizers) == 1
+        assert resizers[0].state is JobState.CANCELLED
+
+    def test_expand_reuses_original_nodes(self):
+        """Expanding must keep the original allocation (Section III)."""
+        env, machine, ctl = make_setup(nodes=16)
+        job = ctl.submit(malleable(4))
+        env.run(until=0.1)
+        original = set(job.nodes)
+
+        def run_expand():
+            yield from expand_protocol(ctl, job, target_nodes=8)
+
+        env.process(run_expand())
+        env.run(until=5.0)
+        assert original <= set(job.nodes)
+
+    def test_expand_times_out_when_nodes_busy(self):
+        env, machine, ctl = make_setup(nodes=8)
+        job = ctl.submit(malleable(4))
+        blocker = ctl.submit(rigid(4, limit=1000.0))
+        env.run(until=0.1)
+        results = []
+
+        def run_expand():
+            out = yield from expand_protocol(ctl, job, target_nodes=8, timeout=10.0)
+            results.append(out)
+
+        env.process(run_expand())
+        env.run(until=30.0)
+        assert results == [None]
+        assert job.num_nodes == 4
+        aborts = ctl.trace.of_kind(EventKind.RESIZE_ABORT)
+        assert len(aborts) == 1
+        # The resizer was cancelled and no stray allocation remains.
+        assert machine.used_count == 8
+
+    def test_expand_invalid_target_rejected(self):
+        env, _, ctl = make_setup()
+        job = ctl.submit(malleable(4))
+        env.run(until=0.1)
+        with pytest.raises(ValueError):
+            list(expand_protocol(ctl, job, target_nodes=4))
+
+    def test_expand_records_resize_history(self):
+        env, _, ctl = make_setup()
+        job = ctl.submit(malleable(4))
+        env.run(until=0.1)
+
+        def run_expand():
+            yield from expand_protocol(ctl, job, target_nodes=16)
+
+        env.process(run_expand())
+        env.run(until=5.0)
+        assert job.resizes == [(pytest.approx(0.1, abs=0.2), 4, 16)]
+
+
+class TestShrink:
+    def test_shrink_releases_highest_nodes(self):
+        env, machine, ctl = make_setup()
+        job = ctl.submit(malleable(8))
+        env.run(until=0.1)
+        released = shrink_protocol(ctl, job, target_nodes=2)
+        assert released == (2, 3, 4, 5, 6, 7)
+        assert job.num_nodes == 2
+        assert job.nodes == (0, 1)
+
+    def test_shrink_triggers_waiting_job_start(self):
+        env, machine, ctl = make_setup(nodes=8)
+        flex = ctl.submit(malleable(8))
+        queued = ctl.submit(rigid(4))
+        env.run(until=0.1)
+        assert queued.is_pending
+        shrink_protocol(ctl, flex, target_nodes=4)
+        env.run(until=0.2)
+        assert queued.is_running
+
+    def test_shrink_validation(self):
+        env, _, ctl = make_setup()
+        job = ctl.submit(malleable(8))
+        env.run(until=0.1)
+        with pytest.raises(SchedulerError):
+            ctl.shrink_job(job, 8)
+        with pytest.raises(SchedulerError):
+            ctl.shrink_job(job, 0)
+
+
+class TestCheckStatus:
+    def test_check_status_requires_running_job(self):
+        env, _, ctl = make_setup()
+        job = malleable(4)
+        ctl.submit(job)
+        with pytest.raises(SchedulerError):
+            ctl.check_status(job, job.resize_request)
+
+    def test_check_status_expand_on_idle_cluster(self):
+        env, _, ctl = make_setup(nodes=16)
+        job = ctl.submit(malleable(4))
+        env.run(until=0.1)
+        d = ctl.check_status(job, job.resize_request)
+        assert d.action is ResizeAction.EXPAND
+        assert d.target_procs == 16
+
+    def test_check_status_shrink_boosts_beneficiary(self):
+        env, _, ctl = make_setup(nodes=8)
+        flex = ctl.submit(malleable(8))
+        queued = ctl.submit(rigid(6))
+        env.run(until=0.1)
+        d = ctl.check_status(flex, flex.resize_request)
+        assert d.action is ResizeAction.SHRINK
+        assert d.beneficiary_job_id == queued.job_id
+        assert queued.priority_boost == float("inf")
+
+    def test_check_status_records_decision(self):
+        env, _, ctl = make_setup()
+        job = ctl.submit(malleable(4))
+        env.run(until=0.1)
+        ctl.check_status(job, job.resize_request)
+        decisions = ctl.trace.of_kind(EventKind.RESIZE_DECISION)
+        assert len(decisions) == 1
+        assert decisions[0]["action"] == "expand"
+
+    def test_policy_view_excludes_resizers(self):
+        env, _, ctl = make_setup(nodes=8)
+        flex = ctl.submit(malleable(2))
+        env.run(until=0.1)
+
+        def run_expand():
+            yield from expand_protocol(ctl, flex, target_nodes=4)
+
+        env.process(run_expand())
+        # Snapshot during the same timestamp window would show the resizer
+        # in pending; policy views must filter it.
+        view = ctl.policy_view()
+        assert all(not p.is_resizer for p in view.pending)

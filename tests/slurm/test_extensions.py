@@ -1,0 +1,197 @@
+"""Tests for the extension features: moldable submission, time limits,
+evolving applications, and job-kill delivery."""
+
+import pytest
+
+from repro.apps import AppModel, LinearScalability, flexible_sleep
+from repro.cluster import ClusterConfig
+from repro.core import ResizeRequest
+from repro.metrics import EventKind
+from repro.runtime import RuntimeConfig, install_runtime_launcher
+from repro.sim import Environment
+from repro.slurm import Job, JobClass, JobState, SlurmConfig, SlurmController
+
+
+def setup(nodes=16, **slurm_kw):
+    env = Environment()
+    cluster = ClusterConfig(num_nodes=nodes)
+    machine = cluster.build_machine()
+    ctl = SlurmController(env, machine, config=SlurmConfig(**slurm_kw))
+    install_runtime_launcher(ctl, cluster)
+    return env, cluster, machine, ctl
+
+
+def app_of(steps=2, step_time=10.0, at=4, **kw):
+    return flexible_sleep(step_time=step_time, at_procs=at, steps=steps, **kw)
+
+
+class TestMoldableSubmission:
+    """The paper's future work: submission with a range of node counts."""
+
+    def moldable_job(self, nodes, min_procs=1, name="mold"):
+        app = app_of(at=nodes)
+        return Job(
+            name=name,
+            num_nodes=nodes,
+            time_limit=10_000.0,
+            job_class=JobClass.MOLDABLE,
+            resize_request=ResizeRequest(min_procs=min_procs, max_procs=nodes),
+            payload=app,
+        )
+
+    def test_moldable_starts_below_submitted_size(self):
+        env, _, machine, ctl = setup(nodes=16)
+        blocker = ctl.submit(
+            Job(name="big", num_nodes=12, time_limit=1000.0, payload=app_of(at=12))
+        )
+        mold = ctl.submit(self.moldable_job(8))
+        env.run(until=1.0)
+        # Only 4 nodes free: the moldable job starts shrunk to 4.
+        assert mold.is_running
+        assert mold.num_nodes == 4
+
+    def test_moldable_respects_min_procs(self):
+        env, _, _, ctl = setup(nodes=16)
+        ctl.submit(Job(name="big", num_nodes=14, time_limit=1000.0, payload=app_of(at=14)))
+        mold = ctl.submit(self.moldable_job(8, min_procs=4))
+        env.run(until=1.0)
+        # 2 free < min 4: must wait.
+        assert mold.is_pending
+
+    def test_moldable_takes_full_size_when_available(self):
+        env, _, _, ctl = setup(nodes=16)
+        mold = ctl.submit(self.moldable_job(8))
+        env.run(until=1.0)
+        assert mold.num_nodes == 8
+
+    def test_rigid_job_never_molded(self):
+        env, _, _, ctl = setup(nodes=16)
+        ctl.submit(Job(name="big", num_nodes=12, time_limit=1000.0, payload=app_of(at=12)))
+        rigid = ctl.submit(Job(name="r", num_nodes=8, time_limit=100.0, payload=app_of(at=8)))
+        env.run(until=1.0)
+        assert rigid.is_pending
+
+
+class TestTimeLimits:
+    def test_overrunning_job_killed(self):
+        env, _, machine, ctl = setup(nodes=8, enforce_time_limits=True)
+        # 5 steps x 10 s = 50 s of work but only a 25 s limit.
+        job = ctl.submit(
+            Job(name="hog", num_nodes=4, time_limit=25.0, payload=app_of(steps=5, at=4))
+        )
+        env.run()
+        assert job.state is JobState.TIMEOUT
+        assert job.end_time == pytest.approx(25.0)
+        assert machine.used_count == 0
+
+    def test_compliant_job_unaffected(self):
+        env, _, _, ctl = setup(nodes=8, enforce_time_limits=True)
+        job = ctl.submit(
+            Job(name="ok", num_nodes=4, time_limit=100.0, payload=app_of(steps=2, at=4))
+        )
+        env.run()
+        assert job.state is JobState.COMPLETED
+        assert job.end_time == pytest.approx(20.0)
+
+    def test_kill_releases_nodes_for_waiting_job(self):
+        env, _, _, ctl = setup(nodes=4, enforce_time_limits=True)
+        hog = ctl.submit(
+            Job(name="hog", num_nodes=4, time_limit=30.0, payload=app_of(steps=10, at=4))
+        )
+        waiter = ctl.submit(
+            Job(name="w", num_nodes=4, time_limit=100.0, payload=app_of(steps=1, at=4))
+        )
+        env.run()
+        assert hog.state is JobState.TIMEOUT
+        assert waiter.state is JobState.COMPLETED
+        assert waiter.start_time == pytest.approx(30.0)
+
+    def test_resized_job_limit_rescaled(self):
+        """A malleable job shrunk 16->4 gets 4x the remaining walltime."""
+        env, cluster, _, ctl = setup(nodes=16, enforce_time_limits=True)
+        app = app_of(steps=4, step_time=10.0, at=16, max_procs=16)
+        flex = ctl.submit(
+            Job(
+                name="flex",
+                num_nodes=16,
+                time_limit=60.0,  # 40 s of work at 16 nodes, padded
+                job_class=JobClass.MALLEABLE,
+                resize_request=app.resize,
+                payload=app,
+            )
+        )
+        env.run(until=5.0)
+        queued = ctl.submit(
+            Job(name="q", num_nodes=12, time_limit=100.0, payload=app_of(at=12))
+        )
+        env.run()
+        # The flexible job shrank (to let the 12-node job run) and its
+        # steps became 4x longer; without limit rescaling it would be
+        # killed.  It must complete.
+        assert flex.state is JobState.COMPLETED
+        assert len(flex.resizes) >= 1
+        assert queued.state is JobState.COMPLETED
+
+
+class TestEvolvingApplications:
+    def test_phase_request_forces_growth(self):
+        """An evolving app demands more nodes at a later stage."""
+        env, cluster, _, ctl = setup(nodes=16)
+        base = ResizeRequest(min_procs=2, max_procs=16, preferred=2)
+        grow = ResizeRequest(min_procs=8, max_procs=16)
+        app = AppModel(
+            name="evolving",
+            iterations=6,
+            serial_step_time=40.0,
+            state_bytes=0.0,
+            scalability=LinearScalability(),
+            resize=base,
+            phase_requests={3: grow},
+        )
+        job = ctl.submit(
+            Job(
+                name="evolve",
+                num_nodes=2,
+                time_limit=10_000.0,
+                job_class=JobClass.EVOLVING,
+                resize_request=base,
+                payload=app,
+            )
+        )
+        env.run()
+        assert job.state is JobState.COMPLETED
+        # The stage-3 request (min 8 > current 2) triggered an expansion.
+        sizes = [new for _, _, new in job.resizes]
+        assert any(s >= 8 for s in sizes)
+
+    def test_request_at_lookup(self):
+        base = ResizeRequest(min_procs=1, max_procs=4)
+        override = ResizeRequest(min_procs=2, max_procs=8)
+        app = AppModel(
+            name="t",
+            iterations=5,
+            serial_step_time=1.0,
+            state_bytes=0.0,
+            scalability=LinearScalability(),
+            resize=base,
+            phase_requests={2: override},
+        )
+        assert app.request_at(0) is base
+        assert app.request_at(2) is override
+        assert app.fresh_copy().request_at(2) is override
+
+
+class TestCancelDelivery:
+    def test_cancel_running_job_stops_its_process(self):
+        env, _, machine, ctl = setup(nodes=8)
+        job = ctl.submit(
+            Job(name="victim", num_nodes=4, time_limit=1000.0, payload=app_of(steps=50, at=4))
+        )
+        env.run(until=5.0)
+        ctl.cancel_job(job)
+        env.run()
+        assert job.state is JobState.CANCELLED
+        assert machine.used_count == 0
+        # No spurious completion event was recorded afterwards.
+        ends = [e for e in ctl.trace.of_kind(EventKind.JOB_END) if e.job_id == job.job_id]
+        assert ends == []

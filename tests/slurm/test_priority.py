@@ -1,0 +1,82 @@
+"""Tests for the multifactor priority plugin."""
+
+import pytest
+
+from repro.slurm import Job, MultifactorConfig, MultifactorPriority
+
+
+def make_job(nodes=4, submit=0.0, boost=0.0, jid=0):
+    job = Job(name=f"j{jid}", num_nodes=nodes, time_limit=100.0)
+    job.submit_time = submit
+    job.priority_boost = boost
+    job.job_id = jid
+    return job
+
+
+def engine(nodes=64, **kw):
+    return MultifactorPriority(MultifactorConfig(**kw), cluster_nodes=nodes)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MultifactorConfig(max_age=0)
+    with pytest.raises(ValueError):
+        MultifactorPriority(MultifactorConfig(), cluster_nodes=0)
+
+
+def test_age_factor_grows_and_saturates():
+    eng = engine(max_age=100.0)
+    job = make_job(submit=0.0)
+    assert eng.age_factor(job, 0.0) == 0.0
+    assert eng.age_factor(job, 50.0) == 0.5
+    assert eng.age_factor(job, 1000.0) == 1.0
+
+
+def test_age_factor_unsubmitted_is_zero():
+    eng = engine()
+    job = Job(name="x", num_nodes=1, time_limit=10.0)
+    assert eng.age_factor(job, 100.0) == 0.0
+
+
+def test_size_factor_favors_big_by_default():
+    eng = engine(nodes=64)
+    small, big = make_job(nodes=1), make_job(nodes=64)
+    assert eng.size_factor(big) > eng.size_factor(small)
+
+
+def test_size_factor_favor_small():
+    eng = engine(nodes=64, favor_big=False)
+    small, big = make_job(nodes=1), make_job(nodes=64)
+    assert eng.size_factor(small) > eng.size_factor(big)
+
+
+def test_infinite_boost_dominates():
+    eng = engine()
+    boosted = make_job(nodes=1, submit=100.0, boost=float("inf"), jid=2)
+    old_big = make_job(nodes=64, submit=0.0, jid=1)
+    order = eng.sort_queue([old_big, boosted], now=1000.0)
+    assert order[0] is boosted
+
+
+def test_sort_queue_fifo_among_equals():
+    eng = engine()
+    a = make_job(nodes=4, submit=1.0, jid=1)
+    b = make_job(nodes=4, submit=2.0, jid=2)
+    # Identical priority contributions except age; a is older -> first.
+    order = eng.sort_queue([b, a], now=10.0)
+    assert [j.job_id for j in order] == [1, 2]
+
+
+def test_older_job_wins_with_equal_size():
+    eng = engine(max_age=100.0)
+    old = make_job(submit=0.0, jid=1)
+    new = make_job(submit=50.0, jid=2)
+    order = eng.sort_queue([new, old], now=60.0)
+    assert order[0] is old
+
+
+def test_priority_combines_weights():
+    eng = engine(nodes=10, weight_age=1000.0, weight_job_size=500.0, max_age=10.0)
+    job = make_job(nodes=5, submit=0.0)
+    # age factor at t=5: 0.5 -> 500 ; size factor 0.5 -> 250
+    assert eng.priority(job, 5.0) == pytest.approx(750.0)

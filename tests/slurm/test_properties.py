@@ -1,0 +1,135 @@
+"""Property-based tests on the scheduling and policy components."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ResizeAction, ResizeRequest
+from repro.slurm import Job, PolicyConfig, PolicyView, ReconfigurationPolicy, plan_backfill
+
+
+def pend(nodes, limit, jid, submit=0.0):
+    job = Job(name=f"p{jid}", num_nodes=nodes, time_limit=limit)
+    job.job_id = jid
+    job.submit_time = submit
+    return job
+
+
+def run(nodes, start, limit, jid):
+    job = Job(name=f"r{jid}", num_nodes=nodes, time_limit=limit)
+    job.job_id = jid
+    job.start_time = start
+    return job
+
+
+queue_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=16),  # nodes
+        st.floats(min_value=1.0, max_value=500.0),  # limit
+    ),
+    min_size=0,
+    max_size=20,
+)
+
+running_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=8),
+        st.floats(min_value=1.0, max_value=200.0),
+    ),
+    min_size=0,
+    max_size=8,
+)
+
+
+class TestBackfillProperties:
+    @given(queue=queue_strategy, running=running_strategy, total=st.integers(8, 32))
+    @settings(max_examples=150, deadline=None)
+    def test_never_overallocates(self, queue, running, total):
+        running_jobs = [run(n, 0.0, l, 100 + i) for i, (n, l) in enumerate(running)]
+        used = sum(j.num_nodes for j in running_jobs)
+        free = max(0, total - used)
+        pending = [pend(n, l, i) for i, (n, l) in enumerate(queue)]
+        starts, _ = plan_backfill(pending, running_jobs, free, now=0.0)
+        assert sum(j.num_nodes for j in starts) <= free
+        # No job started twice.
+        assert len({j.job_id for j in starts}) == len(starts)
+
+    @given(queue=queue_strategy, running=running_strategy, total=st.integers(8, 32))
+    @settings(max_examples=150, deadline=None)
+    def test_backfill_does_not_delay_reservation(self, queue, running, total):
+        """Backfilled jobs fit before the shadow or beside the reservation."""
+        running_jobs = [run(n, 0.0, l, 100 + i) for i, (n, l) in enumerate(running)]
+        used = sum(j.num_nodes for j in running_jobs)
+        free = max(0, total - used)
+        pending = [pend(n, l, i) for i, (n, l) in enumerate(queue)]
+        starts, reservation = plan_backfill(pending, running_jobs, free, now=0.0)
+        if reservation is None:
+            return
+        started = {j.job_id for j in starts}
+        blocked_idx = pending.index(reservation.job)
+        # Phase-1 starts (before the blocked job) are unconstrained; the
+        # backfilled ones (after it) must respect the reservation.
+        extra = reservation.extra_nodes
+        for job in pending[blocked_idx + 1 :]:
+            if job.job_id in started:
+                fits_before = job.time_limit <= reservation.shadow_time
+                fits_beside = job.num_nodes <= extra
+                assert fits_before or fits_beside
+                if not fits_before:
+                    extra -= job.num_nodes
+
+    @given(queue=queue_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_empty_machine_priority_prefix_starts(self, queue):
+        """On an idle machine the highest-priority fitting prefix starts."""
+        pending = [pend(n, l, i) for i, (n, l) in enumerate(queue)]
+        starts, _ = plan_backfill(pending, [], 16, now=0.0)
+        if pending and pending[0].num_nodes <= 16:
+            assert pending[0] in starts
+
+
+class TestPolicyProperties:
+    requests = st.builds(
+        lambda lo, span, pref_frac: ResizeRequest(
+            min_procs=lo,
+            max_procs=lo + span,
+            factor=2,
+            preferred=None if pref_frac is None else min(lo + span, max(lo, pref_frac)),
+        ),
+        lo=st.integers(1, 4),
+        span=st.integers(0, 28),
+        pref_frac=st.one_of(st.none(), st.integers(1, 32)),
+    )
+
+    @given(
+        request=requests,
+        current=st.integers(1, 32),
+        free=st.integers(0, 64),
+        pending_sizes=st.lists(st.integers(1, 32), max_size=5),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_decisions_always_legal(self, request, current, free, pending_sizes):
+        """Whatever the inputs, decisions stay within physical limits."""
+        job = Job(name="x", num_nodes=current, time_limit=10.0)
+        job.job_id = 1
+        view = PolicyView(
+            free_nodes=free,
+            pending=tuple(pend(n, 10.0, 10 + i) for i, n in enumerate(pending_sizes)),
+        )
+        for cfg in (
+            PolicyConfig(),
+            PolicyConfig(shrink_mode="deepest"),
+            PolicyConfig(expand_with_pending=True, shrink_beneficiary="any"),
+        ):
+            decision = ReconfigurationPolicy(cfg).decide(job, request, view)
+            if decision.action is ResizeAction.EXPAND:
+                assert decision.target_procs > current
+                assert decision.target_procs <= request.max_procs
+                # An expansion never claims more nodes than are free.
+                assert decision.target_procs - current <= free
+            elif decision.action is ResizeAction.SHRINK:
+                assert decision.target_procs < current
+                assert decision.target_procs >= request.min_procs
+                # Factor-2 reachability.
+                assert decision.target_procs in request.shrink_sizes(current)
+            else:
+                assert decision.target_procs == current

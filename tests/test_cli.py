@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import ARTIFACTS, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig10" in out and "table2" in out
+
+
+def test_unknown_artifact(capsys):
+    assert main(["nope"]) == 2
+    assert "unknown artifact" in capsys.readouterr().err
+
+
+def test_fig1_prints_table(capsys):
+    assert main(["fig1"]) == 0
+    out = capsys.readouterr().out
+    assert "C/R spawning" in out
+    assert "48-24" in out
+
+
+def test_multiple_artifacts_deduplicated(capsys):
+    assert main(["fig1", "fig1"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("Fig. 1:") == 1
+
+
+def test_csv_output(tmp_path, capsys):
+    out = tmp_path / "csvs"
+    assert main(["fig1", "--csv", str(out)]) == 0
+    written = out / "fig1.csv"
+    assert written.exists()
+    header = written.read_text().splitlines()[0]
+    assert header.startswith("initial_procs,")
+    assert "csv written" in capsys.readouterr().out
+
+
+def test_csv_skipped_for_unsupported_artifact(tmp_path):
+    out = tmp_path / "csvs"
+    assert main(["fig4", "--csv", str(out)]) == 0
+    assert not (out / "fig4.csv").exists()
+
+
+def test_registry_covers_every_eval_artifact():
+    expected = {f"fig{i}" for i in (1, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12)}
+    expected |= {"table2", "scalability"}
+    assert set(ARTIFACTS) == expected
+
+
+def test_scalability_artifact(capsys):
+    assert main(["scalability"]) == 0
+    out = capsys.readouterr().out
+    assert "sweet spot" in out

@@ -1,0 +1,59 @@
+"""Table I of the paper: configuration parameters for the applications.
+
+| app    | iterations | min | max | preferred | scheduling period |
+|--------|-----------:|----:|----:|----------:|------------------:|
+| FS     |         25 |   1 |  20 |         - |                 - |
+| CG     |      10000 |   2 |  32 |         8 |              15 s |
+| Jacobi |      10000 |   2 |  32 |         8 |              15 s |
+| N-body |         25 |   1 |  16 |         1 |                 - |
+"""
+
+from repro.apps import conjugate_gradient, flexible_sleep, jacobi, nbody
+
+
+def test_table1_fs():
+    app = flexible_sleep(step_time=30.0, at_procs=4, steps=25)
+    assert app.iterations == 25
+    assert app.resize.min_procs == 1
+    assert app.resize.max_procs == 20
+    assert app.resize.preferred is None
+    assert app.sched_period == 0.0
+    assert app.resize.factor == 2
+
+
+def test_table1_cg():
+    app = conjugate_gradient()
+    assert app.iterations == 10_000
+    assert app.resize.min_procs == 2
+    assert app.resize.max_procs == 32
+    assert app.resize.preferred == 8
+    assert app.sched_period == 15.0
+    assert app.resize.factor == 2
+
+
+def test_table1_jacobi():
+    app = jacobi()
+    assert app.iterations == 10_000
+    assert app.resize.min_procs == 2
+    assert app.resize.max_procs == 32
+    assert app.resize.preferred == 8
+    assert app.sched_period == 15.0
+    assert app.resize.factor == 2
+
+
+def test_table1_nbody():
+    app = nbody()
+    assert app.iterations == 25
+    assert app.resize.min_procs == 1
+    assert app.resize.max_procs == 16
+    assert app.resize.preferred == 1
+    assert app.sched_period == 0.0
+    assert app.resize.factor == 2
+
+
+def test_fs_workload_generator_uses_table1_defaults():
+    from repro.workload import fs_workload
+
+    app = fs_workload(1, seed=0).jobs[0].app_factory()
+    assert app.iterations == 25
+    assert app.resize.max_procs == 20
