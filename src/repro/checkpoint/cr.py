@@ -22,12 +22,7 @@ from typing import Dict
 
 from repro.cluster.configs import ClusterConfig
 from repro.errors import CheckpointError
-from repro.runtime.redistribution import (
-    plan_block_remap,
-    plan_expand,
-    plan_migrate,
-    plan_shrink,
-)
+from repro.runtime.redistribution import plan_for_resize
 
 
 @dataclass(frozen=True)
@@ -120,20 +115,7 @@ class DMRReconfiguration:
     def reconfigure(self, state_bytes: float, old: int, new: int) -> ReconfigurationCost:
         """Cost of resizing ``old`` -> ``new`` processes via the DMR API."""
         _check(state_bytes, old, new)
-        if new == old:
-            plan = plan_migrate(old, state_bytes)
-        elif new > old:
-            plan = (
-                plan_expand(old, new, state_bytes)
-                if new % old == 0
-                else plan_block_remap(old, new, state_bytes)
-            )
-        else:
-            plan = (
-                plan_shrink(old, new, state_bytes)
-                if old % new == 0
-                else plan_block_remap(old, new, state_bytes)
-            )
+        plan = plan_for_resize(old, new, state_bytes)
         phases = {
             "rms_negotiation": self.rpc_latency,
             "spawn": self.cluster.spawn.spawn_time(new),

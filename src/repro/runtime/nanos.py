@@ -28,11 +28,7 @@ from repro.sim.events import Event
 from repro.slurm.controller import SlurmController
 from repro.slurm.job import Job, JobState
 from repro.slurm.resize import expand_protocol, shrink_protocol
-from repro.runtime.redistribution import (
-    plan_block_remap,
-    plan_expand,
-    plan_shrink,
-)
+from repro.runtime.redistribution import plan_for_resize
 
 
 @dataclass(frozen=True)
@@ -212,13 +208,10 @@ class NanosRuntime:
 
         new = job.num_nodes
         # Spawn the new process set (MPI_Comm_spawn across the final
-        # node list) and redistribute the data dependencies.
+        # node list) and redistribute the data dependencies through the
+        # offloaded tasks of Listing 3.
         yield self.env.timeout(self.cluster.spawn.spawn_time(new))
-        plan = (
-            plan_expand(old, new, self.app.state_bytes)
-            if new % old == 0
-            else plan_block_remap(old, new, self.app.state_bytes)
-        )
+        plan = plan_for_resize(old, new, self.app.state_bytes)
         yield self.env.timeout(
             self.cluster.network.redistribution_time(
                 plan.bytes_out, plan.bytes_in, messages=max(1, plan.message_count)
@@ -253,11 +246,7 @@ class NanosRuntime:
         # Spawn the reduced process set and move the data: senders forward
         # their blocks to group receivers (the network stage of Listing 3).
         yield self.env.timeout(self.cluster.spawn.spawn_time(target))
-        plan = (
-            plan_shrink(old, target, self.app.state_bytes)
-            if old % target == 0
-            else plan_block_remap(old, target, self.app.state_bytes)
-        )
+        plan = plan_for_resize(old, target, self.app.state_bytes)
         yield self.env.timeout(
             self.cluster.network.redistribution_time(
                 plan.bytes_out, plan.bytes_in, messages=max(1, plan.message_count)

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from repro.core.handler import OffloadHandler
 from repro.errors import RedistributionError
 
 
@@ -140,6 +141,38 @@ def plan_migrate(nprocs: int, total_bytes: float) -> RedistributionPlan:
     return plan
 
 
+def _block_overlaps(
+    old_procs: int, new_procs: int, old_rank: int
+) -> Tuple[Tuple[int, float], ...]:
+    """``(new_rank, overlap)`` pairs for old rank ``old_rank``'s block.
+
+    Blocks are the unit-total block distribution ``[r/p, (r+1)/p)``; the
+    overlap is the intersected fraction of the total.  This is the single
+    source of block-intersection math behind :func:`plan_block_remap` and
+    :func:`overlapping_new_ranks`.
+    """
+    lo, hi = old_rank / old_procs, (old_rank + 1) / old_procs
+    first = int(lo * new_procs)
+    last = min(new_procs - 1, int(hi * new_procs))
+    pairs = []
+    for n in range(first, last + 1):
+        overlap = min(hi, (n + 1) / new_procs) - max(lo, n / new_procs)
+        if overlap > 0:
+            pairs.append((n, overlap))
+    return tuple(pairs)
+
+
+def overlapping_new_ranks(
+    old_procs: int, new_procs: int, old_rank: int
+) -> Tuple[int, ...]:
+    """New ranks whose block intersects old rank ``old_rank``'s block.
+
+    The per-rank destination set behind the offload mapping
+    (:func:`repro.runtime.offload.listing3_destinations`).
+    """
+    return tuple(n for n, _ in _block_overlaps(old_procs, new_procs, old_rank))
+
+
 def plan_block_remap(
     old_procs: int, new_procs: int, total_bytes: float
 ) -> RedistributionPlan:
@@ -153,22 +186,49 @@ def plan_block_remap(
     plan = RedistributionPlan("remap", old_procs, new_procs, total_bytes)
     if total_bytes == 0 or old_procs == new_procs:
         return plan
-    for new_rank in range(new_procs):
-        lo = new_rank * total_bytes / new_procs
-        hi = (new_rank + 1) * total_bytes / new_procs
-        # Old ranks whose block [r*T/p, (r+1)*T/p) intersects [lo, hi).
-        first = int(lo * old_procs / total_bytes)
-        last = min(old_procs - 1, int(hi * old_procs / total_bytes))
-        for old_rank in range(first, last + 1):
-            o_lo = old_rank * total_bytes / old_procs
-            o_hi = (old_rank + 1) * total_bytes / old_procs
-            overlap = min(hi, o_hi) - max(lo, o_lo)
-            if overlap <= 0:
-                continue
+    for old_rank in range(old_procs):
+        for new_rank, overlap in _block_overlaps(old_procs, new_procs, old_rank):
             if old_rank == new_rank:
                 continue  # data already in place
-            plan.transfers.append(Transfer(src=old_rank, dst=new_rank, nbytes=overlap))
+            plan.transfers.append(
+                Transfer(src=old_rank, dst=new_rank, nbytes=overlap * total_bytes)
+            )
     return plan
+
+
+def plan_for_resize(
+    old_procs: int, new_procs: int, total_bytes: float
+) -> RedistributionPlan:
+    """Select the Listing 3 plan for an arbitrary resize.
+
+    Homogeneous resizes (``new`` a multiple or divisor of ``old``) use the
+    paper's expand/shrink mappings; equal sizes migrate; everything else
+    falls back to the general block remap.  This is the single selection
+    point shared by the runtime (:mod:`repro.runtime.nanos`) and the C/R
+    comparison baseline (:mod:`repro.checkpoint.cr`).
+    """
+    _check_args(old_procs, new_procs, total_bytes)
+    if new_procs == old_procs:
+        return plan_migrate(old_procs, total_bytes)
+    if new_procs > old_procs:
+        if new_procs % old_procs == 0:
+            return plan_expand(old_procs, new_procs, total_bytes)
+        return plan_block_remap(old_procs, new_procs, total_bytes)
+    if old_procs % new_procs == 0:
+        return plan_shrink(old_procs, new_procs, total_bytes)
+    return plan_block_remap(old_procs, new_procs, total_bytes)
+
+
+def plan_for_handler(
+    handler: OffloadHandler, total_bytes: float
+) -> RedistributionPlan:
+    """Plan the data movement behind a resize's :class:`OffloadHandler`.
+
+    The handler returned by ``dmr_check_status`` already fixes the old and
+    new process counts; the plan describes the transfers the offloaded
+    tasks of Listing 3 will perform for a ``total_bytes`` dataset.
+    """
+    return plan_for_resize(handler.old_procs, handler.new_procs, total_bytes)
 
 
 def senders_and_receivers(old_procs: int, factor: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:

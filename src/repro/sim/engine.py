@@ -3,6 +3,18 @@
 :class:`Environment` owns the simulation clock and the pending-event heap.
 Events scheduled at the same timestamp are processed in (priority, insertion
 order), which makes every simulation fully deterministic.
+
+Everything above this module runs as generator-based processes on one
+:class:`Environment`: each job's :class:`repro.runtime.nanos.NanosRuntime`
+is a process whose reconfiguring points call into the DMR core
+(:class:`repro.core.dmr.DMRSession`), the Slurm controller schedules its
+passes as same-timestamp events at low priority (so all state changes at a
+timestamp settle before a pass observes them), and the
+:class:`repro.core.protocol.RMSChannel` handshake models each protocol
+message as a timed event.  Determinism here is what makes the paper's
+paired fixed-vs-flexible comparisons exactly reproducible: identical
+workloads see identical event orders, so any makespan difference is
+attributable to the resize decisions alone.
 """
 
 from __future__ import annotations

@@ -6,6 +6,27 @@ Running jobs are *driven from outside* — the Nanos++ runtime model (or a
 test) executes the job and calls :meth:`SlurmController.finish_job` when it
 completes, mirroring how real Slurm learns about job termination from the
 node daemons.
+
+**DMR core integration.** This module is the RMS side of the
+:mod:`repro.core` protocol:
+
+* :meth:`SlurmController.check_status` is the entry point a
+  :class:`repro.core.dmr.DMRSession` (or a
+  :class:`repro.core.protocol.RMSChannel` message exchange) invokes at a
+  reconfiguring point.  It takes the application's
+  :class:`~repro.core.actions.ResizeRequest`, evaluates Algorithm 1 via
+  :class:`~repro.slurm.reconfig.ReconfigurationPolicy`, and answers with a
+  :class:`~repro.core.actions.ResizeDecision` whose
+  :class:`~repro.core.actions.DecisionReason` is recorded in the trace.
+* :meth:`SlurmController.policy_view` snapshots the scheduler state that
+  decision is computed against.  Asynchronous mode
+  (``dmr_icheck_status``) deliberately passes a *stale* snapshot taken one
+  step earlier — the staleness analysed in Fig. 6.
+* :meth:`SlurmController.detach_all_nodes`, :meth:`SlurmController.grow_job`
+  and :meth:`SlurmController.shrink_job` are the Section III Slurm API
+  steps the runtime's resize protocol (:mod:`repro.slurm.resize`) drives
+  after an affirmative decision; the runtime then wraps the result in a
+  :class:`repro.core.handler.OffloadHandler` for data redistribution.
 """
 
 from __future__ import annotations

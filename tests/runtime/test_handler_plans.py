@@ -1,0 +1,137 @@
+"""The OffloadHandler-driven redistribution entry points.
+
+These are the seams the DMR core exposes to the runtime: the handler
+returned by a resize selects the Listing 3 plan (``plan_for_handler``)
+and the offload destinations (``listing3_destinations``).
+"""
+
+import pytest
+
+from repro.core import OffloadHandler, ResizeAction
+from repro.errors import RuntimeAPIError
+from repro.mpi import run_world
+from repro.runtime import (
+    OffloadRegion,
+    listing3_destinations,
+    plan_for_handler,
+    plan_for_resize,
+    receive_offload,
+)
+
+
+class TestPlanForResize:
+    def test_homogeneous_expand_uses_listing3_mapping(self):
+        plan = plan_for_resize(2, 8, 800.0)
+        assert plan.kind == "expand"
+        assert {t.dst for t in plan.transfers} == set(range(8))
+
+    def test_homogeneous_shrink_uses_listing3_mapping(self):
+        plan = plan_for_resize(8, 2, 800.0)
+        assert plan.kind == "shrink"
+        # Only sender->receiver transfers cross the network.
+        assert all(t.dst in (3, 7) for t in plan.transfers)
+
+    def test_equal_sizes_migrate(self):
+        assert plan_for_resize(4, 4, 400.0).kind == "migrate"
+
+    def test_non_homogeneous_falls_back_to_remap(self):
+        assert plan_for_resize(2, 3, 600.0).kind == "remap"
+        assert plan_for_resize(3, 2, 600.0).kind == "remap"
+
+    def test_matches_cr_baseline_selection(self):
+        """The C/R comparison and the runtime must charge the same plan."""
+        for old, new in ((4, 8), (8, 4), (4, 4), (4, 6), (6, 4)):
+            direct = plan_for_resize(old, new, 1200.0)
+            via_handler = plan_for_handler(
+                OffloadHandler(ResizeAction.EXPAND if new > old else
+                               ResizeAction.SHRINK if new < old else
+                               ResizeAction.NO_ACTION,
+                               old_procs=old, new_procs=new),
+                1200.0,
+            )
+            assert direct.kind == via_handler.kind
+            assert direct.bytes_moved == via_handler.bytes_moved
+
+
+class TestListing3Destinations:
+    def test_expand_partitions_across_factor(self):
+        h = OffloadHandler(ResizeAction.EXPAND, old_procs=2, new_procs=6)
+        assert listing3_destinations(h, 0) == (0, 1, 2)
+        assert listing3_destinations(h, 1) == (3, 4, 5)
+
+    def test_shrink_only_receivers_offload(self):
+        h = OffloadHandler(ResizeAction.SHRINK, old_procs=6, new_procs=2)
+        assert listing3_destinations(h, 0) == ()
+        assert listing3_destinations(h, 2) == (0,)
+        assert listing3_destinations(h, 5) == (1,)
+
+    def test_migration_maps_namesakes(self):
+        h = OffloadHandler(ResizeAction.NO_ACTION, old_procs=3, new_procs=3)
+        assert listing3_destinations(h, 1) == (1,)
+
+    def test_every_new_rank_is_covered_exactly_once(self):
+        for old, new in ((2, 8), (8, 2), (4, 4)):
+            action = (ResizeAction.EXPAND if new > old
+                      else ResizeAction.SHRINK if new < old
+                      else ResizeAction.NO_ACTION)
+            h = OffloadHandler(action, old_procs=old, new_procs=new)
+            covered = [d for r in range(old) for d in listing3_destinations(h, r)]
+            assert sorted(covered) == list(range(new))
+
+    def test_non_homogeneous_uses_block_overlap(self):
+        h = OffloadHandler(ResizeAction.EXPAND, old_procs=2, new_procs=3)
+        assert listing3_destinations(h, 0) == (0, 1)
+        assert listing3_destinations(h, 1) == (1, 2)
+
+    def test_non_homogeneous_covers_every_new_rank(self):
+        for old, new in ((4, 6), (6, 4), (3, 7)):
+            action = ResizeAction.EXPAND if new > old else ResizeAction.SHRINK
+            h = OffloadHandler(action, old_procs=old, new_procs=new)
+            covered = {d for r in range(old) for d in listing3_destinations(h, r)}
+            assert covered == set(range(new))
+
+    def test_rank_outside_old_set_rejected(self):
+        h = OffloadHandler(ResizeAction.EXPAND, old_procs=2, new_procs=4)
+        with pytest.raises(RuntimeAPIError, match="outside"):
+            listing3_destinations(h, 2)
+
+
+class TestRegionFromHandler:
+    def test_simulated_handler_has_no_comm(self):
+        def parent(ctx):
+            h = OffloadHandler(ResizeAction.EXPAND, old_procs=1, new_procs=2,
+                               nodes=(0, 1))
+            with pytest.raises(RuntimeAPIError, match="no communicator"):
+                OffloadRegion.from_handler(ctx, h)
+            return "checked"
+            yield  # pragma: no cover
+
+        assert run_world(1, parent) == ["checked"]
+
+    def test_offload_through_core_handler(self):
+        def child(ctx):
+            data, resume_at = yield from receive_offload(ctx)
+            return (data, resume_at)
+
+        def parent(ctx):
+            intercomm = yield ctx.spawn(2, child)
+            handler = OffloadHandler(
+                ResizeAction.EXPAND, old_procs=1, new_procs=2,
+                comm=intercomm,
+            )
+            region = OffloadRegion.from_handler(ctx, handler)
+            for dest in listing3_destinations(handler, ctx.rank):
+                yield from region.task(dest, f"block-{dest}", resume_at=5)
+            count = yield from region.taskwait()
+            return count
+
+        assert run_world(1, parent)[0] == 2
+
+    def test_from_handler_rejects_non_handler(self):
+        def parent(ctx):
+            with pytest.raises(RuntimeAPIError, match="OffloadHandler"):
+                OffloadRegion.from_handler(ctx, object())
+            return "checked"
+            yield  # pragma: no cover
+
+        assert run_world(1, parent) == ["checked"]
