@@ -10,8 +10,8 @@ site logs.
 Run:  python examples/swf_replay.py
 """
 
+from repro.api import Session
 from repro.cluster import marenostrum_preliminary
-from repro.experiments.common import run_workload
 from repro.metrics import format_table, gain_percent
 from repro.workload import (
     FSWorkloadConfig,
@@ -33,10 +33,11 @@ def main() -> None:
     replay = parse_swf(swf_text, steps=10)
     print(f"\nre-imported {len(replay)} jobs from the SWF text")
 
-    # 3. Run the replay rigid and malleable.
-    cluster = marenostrum_preliminary()
-    fixed = run_workload(replay, cluster, flexible=False)
-    flexible = run_workload(replay, cluster, flexible=True)
+    # 3. Run the replay rigid and malleable (the CLI equivalent:
+    #    python -m repro run --workload log.swf --rigid/--flexible).
+    session = Session(cluster=marenostrum_preliminary())
+    fixed = session.run(replay, flexible=False)
+    flexible = session.run(replay, flexible=True)
 
     print(
         format_table(

@@ -12,8 +12,8 @@ Run:  python examples/workload_study.py [num_jobs]
 
 import sys
 
+from repro.api import Session
 from repro.cluster import marenostrum_production
-from repro.experiments.common import run_paired
 from repro.metrics import format_evolution, format_table, gain_percent
 from repro.runtime import RuntimeConfig
 from repro.workload import realapp_workload
@@ -23,7 +23,12 @@ def main(num_jobs: int = 50) -> None:
     spec = realapp_workload(num_jobs, seed=2017)
     print(f"workload: {spec.name} ({num_jobs} jobs, CG/Jacobi/N-body mix)")
 
-    pair = run_paired(spec, marenostrum_production(), runtime_config=RuntimeConfig())
+    session = (
+        Session(cluster=marenostrum_production())
+        .with_runtime(RuntimeConfig())
+        .with_seed(2017)
+    )
+    pair = session.run_paired(spec)
     fixed, flex = pair.fixed.summary, pair.flexible.summary
 
     print(

@@ -1,0 +1,61 @@
+"""``repro.api`` — the public facade of the reproduction.
+
+Everything a consumer needs lives here:
+
+* :class:`Session` — immutable builder owning simulation assembly
+  (cluster + Slurm + policy + runtime + seed) with ``submit`` / ``run`` /
+  ``run_paired`` execution;
+* :class:`SessionObserver` / :class:`TimelineObserver` — live event
+  hooks replacing post-hoc trace scraping;
+* :class:`WorkloadResult` / :class:`PairedComparison` — the result
+  currency every experiment driver returns;
+* :func:`artifact` / :data:`REGISTRY` — the declarative registry the
+  ``python -m repro`` CLI serves figures and tables from.
+
+Experiment drivers, benchmarks and the CLI are all thin layers over
+this package; nothing outside it assembles ``Environment`` +
+``SlurmController`` by hand.
+"""
+
+from repro.api.observers import (
+    CallbackObserver,
+    LiveTimelines,
+    SessionObserver,
+    TimelineObserver,
+)
+from repro.api.registry import (
+    REGISTRY,
+    ArtifactRegistry,
+    ArtifactSpec,
+    artifact,
+    builtin_registry,
+    default_seed,
+)
+from repro.api.results import PairedComparison, WorkloadResult
+from repro.api.session import (
+    DEFAULT_MAX_SIM_TIME,
+    LiveSimulation,
+    Session,
+    SessionRun,
+)
+from repro.errors import SimulationTimeout
+
+__all__ = [
+    "ArtifactRegistry",
+    "ArtifactSpec",
+    "CallbackObserver",
+    "DEFAULT_MAX_SIM_TIME",
+    "LiveSimulation",
+    "LiveTimelines",
+    "PairedComparison",
+    "REGISTRY",
+    "Session",
+    "SessionObserver",
+    "SessionRun",
+    "SimulationTimeout",
+    "TimelineObserver",
+    "WorkloadResult",
+    "artifact",
+    "builtin_registry",
+    "default_seed",
+]

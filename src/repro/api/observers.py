@@ -1,0 +1,210 @@
+"""Live observation of a running :class:`~repro.api.session.Session`.
+
+Observers attach to a session *before* execution and receive scheduler
+events the moment they happen, instead of scraping the trace after the
+run.  This is how metrics timelines, progress reporting and future
+instrumentation hook into the simulation without the experiment drivers
+knowing about them.
+
+The dispatch contract:
+
+* :meth:`SessionObserver.on_submit` — a (non-resizer) job entered the
+  queue;
+* :meth:`SessionObserver.on_start` — a (non-resizer) job began running;
+* :meth:`SessionObserver.on_resize` — a running job expanded or shrank;
+* :meth:`SessionObserver.on_complete` — a (non-resizer) job finished;
+* :meth:`SessionObserver.on_event` — every raw trace event, including
+  resizer bookkeeping and allocation changes, for observers that need
+  the full stream.
+
+Resizer jobs (the Section V expand-protocol helpers) are filtered from
+the typed callbacks because they are an implementation artifact of the
+resize mechanism, not workload jobs; they remain visible in
+:meth:`on_event`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.metrics.timeline import StepSeries, step_series
+from repro.metrics.trace import EventKind, TraceEvent
+from repro.slurm.job import Job
+
+
+class SessionObserver:
+    """Base class for session observers; every hook defaults to a no-op."""
+
+    def on_submit(self, time: float, job: Job) -> None:
+        """A workload job was submitted to the controller."""
+
+    def on_start(self, time: float, job: Job) -> None:
+        """A workload job started running."""
+
+    def on_resize(self, time: float, job: Job, event: TraceEvent) -> None:
+        """A running job was expanded or shrunk (see ``event.kind``)."""
+
+    def on_complete(self, time: float, job: Job) -> None:
+        """A workload job finished (completed, cancelled or timed out)."""
+
+    def on_event(self, event: TraceEvent) -> None:
+        """Raw hook: every trace event, in order, as it is recorded."""
+
+
+@dataclass(frozen=True)
+class LiveTimelines:
+    """Step series assembled live by a :class:`TimelineObserver`."""
+
+    allocation: StepSeries
+    running: StepSeries
+
+
+class TimelineObserver(SessionObserver):
+    """Builds the paper's evolution series from live events.
+
+    Accumulates the allocated-node and running-job step functions as the
+    simulation emits events — the same series
+    :func:`repro.metrics.timeline.allocated_nodes_series` and
+    :func:`repro.metrics.timeline.running_jobs_series` would derive from
+    the trace afterwards, but produced incrementally, with no post-hoc
+    scraping pass.
+    """
+
+    def __init__(self) -> None:
+        self._alloc_points: List[Tuple[float, float]] = [(0.0, 0.0)]
+        self._running_points: List[Tuple[float, float]] = [(0.0, 0.0)]
+        self._running: Set[int] = set()
+        self._resizer_ids: Set[int] = set()
+
+    def on_event(self, event: TraceEvent) -> None:
+        kind = event.kind
+        if kind is EventKind.ALLOC_CHANGE:
+            self._alloc_points.append((event.time, float(event["nodes_used"])))
+        elif kind is EventKind.JOB_SUBMIT:
+            if event.data.get("resizer"):
+                self._resizer_ids.add(event.job_id)
+        elif kind is EventKind.JOB_START:
+            if event.job_id not in self._resizer_ids:
+                self._running.add(event.job_id)
+                self._running_points.append(
+                    (event.time, float(len(self._running)))
+                )
+        elif kind in (EventKind.JOB_END, EventKind.JOB_CANCEL):
+            if event.job_id in self._running:
+                self._running.discard(event.job_id)
+                self._running_points.append(
+                    (event.time, float(len(self._running)))
+                )
+
+    def allocation_series(self) -> StepSeries:
+        """Allocated node count over time, as observed so far."""
+        return step_series(self._alloc_points)
+
+    def running_series(self) -> StepSeries:
+        """Number of running (non-resizer) jobs over time."""
+        return step_series(self._running_points)
+
+    def snapshot(self) -> LiveTimelines:
+        """Freeze both series into an immutable bundle."""
+        return LiveTimelines(
+            allocation=self.allocation_series(),
+            running=self.running_series(),
+        )
+
+
+class CallbackObserver(SessionObserver):
+    """Adapter turning plain callables into an observer.
+
+    Convenient for one-off instrumentation::
+
+        Session().observe(CallbackObserver(
+            on_complete=lambda t, job: print(f"{t:8.1f}  {job.name} done")
+        ))
+    """
+
+    def __init__(
+        self,
+        on_submit=None,
+        on_start=None,
+        on_resize=None,
+        on_complete=None,
+        on_event=None,
+    ) -> None:
+        self._on_submit = on_submit
+        self._on_start = on_start
+        self._on_resize = on_resize
+        self._on_complete = on_complete
+        self._on_event = on_event
+
+    def on_submit(self, time: float, job: Job) -> None:
+        if self._on_submit is not None:
+            self._on_submit(time, job)
+
+    def on_start(self, time: float, job: Job) -> None:
+        if self._on_start is not None:
+            self._on_start(time, job)
+
+    def on_resize(self, time: float, job: Job, event: TraceEvent) -> None:
+        if self._on_resize is not None:
+            self._on_resize(time, job, event)
+
+    def on_complete(self, time: float, job: Job) -> None:
+        if self._on_complete is not None:
+            self._on_complete(time, job)
+
+    def on_event(self, event: TraceEvent) -> None:
+        if self._on_event is not None:
+            self._on_event(event)
+
+
+class ObserverDispatch:
+    """Routes trace events to a set of observers (one instance per run).
+
+    Installed by the session as a live trace subscriber; translates the
+    raw event vocabulary into the typed observer callbacks and resolves
+    job ids back to :class:`~repro.slurm.job.Job` objects through the
+    controller.
+    """
+
+    _TYPED_KINDS = {
+        EventKind.JOB_SUBMIT,
+        EventKind.JOB_START,
+        EventKind.JOB_END,
+        EventKind.JOB_CANCEL,
+        EventKind.RESIZE_EXPAND,
+        EventKind.RESIZE_SHRINK,
+    }
+
+    def __init__(self, controller, observers: Tuple[SessionObserver, ...]) -> None:
+        self._controller = controller
+        self._observers = observers
+        self._resizer_ids: Set[int] = set()
+        #: id -> Job, filled at submission so later events resolve in O(1)
+        #: (controller.get_job scans the finished list).
+        self._jobs: Dict[int, Job] = {}
+
+    def __call__(self, event: TraceEvent) -> None:
+        for obs in self._observers:
+            obs.on_event(event)
+        kind = event.kind
+        if kind not in self._TYPED_KINDS:
+            return
+        if kind is EventKind.JOB_SUBMIT and event.data.get("resizer"):
+            self._resizer_ids.add(event.job_id)
+            return
+        if event.job_id in self._resizer_ids:
+            return
+        job = self._jobs.get(event.job_id)
+        if job is None:
+            job = self._controller.get_job(event.job_id)
+            self._jobs[event.job_id] = job
+        for obs in self._observers:
+            if kind is EventKind.JOB_SUBMIT:
+                obs.on_submit(event.time, job)
+            elif kind is EventKind.JOB_START:
+                obs.on_start(event.time, job)
+            elif kind in (EventKind.JOB_END, EventKind.JOB_CANCEL):
+                obs.on_complete(event.time, job)
+            else:
+                obs.on_resize(event.time, job, event)

@@ -1,0 +1,181 @@
+"""The declarative artifact registry behind ``python -m repro``.
+
+Experiment modules register their figure/table producers with the
+:func:`artifact` decorator::
+
+    @artifact("fig3", csv=True,
+              description="Fig. 3: fixed vs flexible, synchronous")
+    def _fig3(seed=None):
+        return run_fig03(seed=default_seed(seed))
+
+The CLI (and anything else) then iterates the registry generically:
+``render(name, seed=...)`` produces the text form, ``render_csv`` the
+CSV form where supported.  Producer results are cached per
+``(name, seed)`` so rendering both forms — or several artifacts sharing
+one producer — never re-runs a simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+#: Seed artifacts fall back to when the CLI passes none (the paper's year).
+DEFAULT_ARTIFACT_SEED = 2017
+
+
+def default_seed(seed: Optional[int]) -> int:
+    """Resolve an optional CLI seed to the registry default."""
+    return DEFAULT_ARTIFACT_SEED if seed is None else seed
+
+
+def _default_text_renderer(result: object) -> str:
+    for attr in ("as_table", "as_text"):
+        method = getattr(result, attr, None)
+        if callable(method):
+            return method()
+    raise TypeError(
+        f"artifact result {type(result).__name__} has neither as_table() "
+        f"nor as_text(); pass an explicit text renderer"
+    )
+
+
+@dataclass(frozen=True)
+class ArtifactSpec:
+    """One registered artifact: how to produce and render it."""
+
+    name: str
+    producer: Callable[..., object]
+    text: Callable[[object], str]
+    csv: Optional[Callable[[object], str]]
+    description: str = ""
+
+    @property
+    def supports_csv(self) -> bool:
+        return self.csv is not None
+
+
+class ArtifactRegistry:
+    """Ordered name → :class:`ArtifactSpec` mapping with a result cache."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, ArtifactSpec] = {}
+        self._results: Dict[Tuple[str, Optional[int]], object] = {}
+
+    # -- registration -------------------------------------------------------
+    def artifact(
+        self,
+        name: str,
+        *,
+        csv: Union[bool, Callable[[object], str]] = False,
+        text: Union[None, str, Callable[[object], str]] = None,
+        description: str = "",
+    ):
+        """Decorator registering ``fn(seed=None) -> result object``.
+
+        ``text`` may be an attribute name or a callable; by default the
+        result's ``as_table()`` (falling back to ``as_text()``) renders
+        the artifact.  ``csv=True`` uses the result's ``as_csv()``; a
+        callable customizes it.
+        """
+
+        if isinstance(text, str):
+            attr = text
+            text_renderer: Callable[[object], str] = lambda r: getattr(r, attr)()
+        elif callable(text):
+            text_renderer = text
+        else:
+            text_renderer = _default_text_renderer
+
+        if csv is True:
+            csv_renderer: Optional[Callable[[object], str]] = lambda r: r.as_csv()
+        elif callable(csv):
+            csv_renderer = csv
+        else:
+            csv_renderer = None
+
+        def register(fn: Callable[..., object]) -> Callable[..., object]:
+            if name in self._specs:
+                raise ValueError(f"artifact {name!r} is already registered")
+            self._specs[name] = ArtifactSpec(
+                name=name,
+                producer=fn,
+                text=text_renderer,
+                csv=csv_renderer,
+                description=description,
+            )
+            return fn
+
+        return register
+
+    # -- lookup -------------------------------------------------------------
+    def names(self) -> List[str]:
+        """Registered artifact names, in registration order."""
+        return list(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def get(self, name: str) -> ArtifactSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown artifact {name!r}; known: {', '.join(self._specs)}"
+            ) from None
+
+    # -- production ---------------------------------------------------------
+    def result_for(self, name: str, seed: Optional[int] = None) -> object:
+        """Produce (or fetch from cache) the result object for ``name``."""
+        key = (name, seed)
+        if key not in self._results:
+            self._results[key] = self.get(name).producer(seed=seed)
+        return self._results[key]
+
+    def render(self, name: str, seed: Optional[int] = None) -> str:
+        """The artifact's text form (table or evolution chart)."""
+        return self.get(name).text(self.result_for(name, seed))
+
+    def render_csv(self, name: str, seed: Optional[int] = None) -> str:
+        """The artifact's CSV form; raises for artifacts without one."""
+        spec = self.get(name)
+        if spec.csv is None:
+            raise KeyError(f"artifact {name!r} has no CSV form")
+        return spec.csv(self.result_for(name, seed))
+
+    def clear_cache(self) -> None:
+        self._results.clear()
+
+
+#: The process-wide registry ``python -m repro`` serves from.
+REGISTRY = ArtifactRegistry()
+
+#: Module-level decorator bound to the global registry.
+artifact = REGISTRY.artifact
+
+_BUILTIN_MODULES = (
+    "repro.experiments.fig01_cr_vs_dmr",
+    "repro.experiments.fig03_sync",
+    "repro.experiments.fig04_05_evolution",
+    "repro.experiments.fig06_07_async",
+    "repro.experiments.fig08_heterogeneous",
+    "repro.experiments.fig09_inhibitor",
+    "repro.experiments.fig10_12_realapps",
+    "repro.experiments.scalability",
+)
+
+
+def builtin_registry() -> ArtifactRegistry:
+    """The global registry with every paper artifact loaded.
+
+    Importing the experiment modules triggers their ``@artifact``
+    registrations; the import order fixes the ``repro list`` order.
+    """
+    import importlib
+
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(module)
+    return REGISTRY

@@ -2,134 +2,27 @@
 
 Usage::
 
-    python -m repro list            # what can be reproduced
-    python -m repro fig1            # one figure
-    python -m repro fig10 fig11     # several
-    python -m repro all             # everything (a few minutes)
+    python -m repro list                # what can be reproduced
+    python -m repro fig1                # one figure
+    python -m repro fig10 fig11        # several (one shared simulation)
+    python -m repro all --csv out/      # everything + CSV dumps
+    python -m repro fig3 --seed 7       # reseed the stochastic workloads
+    python -m repro run --workload my.swf --flexible --seed 7
+                                        # replay a user-supplied SWF log
+
+Artifacts are served from the declarative :mod:`repro.api` registry —
+each ``experiments`` module registers its producers with
+``@artifact(...)`` and this module only iterates the registry.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import Callable, Dict, List
+from typing import List, Optional
 
-
-def _fig01() -> str:
-    from repro.experiments.fig01_cr_vs_dmr import run_fig01
-
-    return run_fig01().as_table()
-
-
-def _fig03() -> str:
-    from repro.experiments.fig03_sync import run_fig03
-
-    return run_fig03().as_table()
-
-
-def _fig04() -> str:
-    from repro.experiments.fig04_05_evolution import run_fig04
-
-    return run_fig04().as_text()
-
-
-def _fig05() -> str:
-    from repro.experiments.fig04_05_evolution import run_fig05
-
-    return run_fig05().as_text()
-
-
-def _fig06() -> str:
-    from repro.experiments.fig06_07_async import run_fig06
-
-    return run_fig06().as_text()
-
-
-def _fig07() -> str:
-    from repro.experiments.fig06_07_async import run_fig07
-
-    return run_fig07().as_table()
-
-
-def _fig08() -> str:
-    from repro.experiments.fig08_heterogeneous import run_fig08
-
-    return run_fig08().as_table()
-
-
-def _fig09() -> str:
-    from repro.experiments.fig09_inhibitor import run_fig09
-
-    return run_fig09().as_table()
-
-
-def _realapps():
-    from repro.experiments.fig10_12_realapps import run_realapps
-
-    if not hasattr(_realapps, "_cache"):
-        _realapps._cache = run_realapps()  # type: ignore[attr-defined]
-    return _realapps._cache  # type: ignore[attr-defined]
-
-
-def _fig10() -> str:
-    return _realapps().fig10_table()
-
-
-def _fig11() -> str:
-    return _realapps().fig11_table()
-
-
-def _fig12() -> str:
-    return _realapps().fig12_text()
-
-
-def _table2() -> str:
-    return _realapps().table2()
-
-
-def _scalability() -> str:
-    from repro.experiments.scalability import run_scalability
-
-    return run_scalability().as_table()
-
-
-#: Registry of reproducible artifacts.
-ARTIFACTS: Dict[str, Callable[[], str]] = {
-    "fig1": _fig01,
-    "fig3": _fig03,
-    "fig4": _fig04,
-    "fig5": _fig05,
-    "fig6": _fig06,
-    "fig7": _fig07,
-    "fig8": _fig08,
-    "fig9": _fig09,
-    "fig10": _fig10,
-    "fig11": _fig11,
-    "fig12": _fig12,
-    "table2": _table2,
-    "scalability": _scalability,
-}
-
-
-#: Artifacts that can also emit CSV, and how.
-CSV_SOURCES: Dict[str, Callable[[], str]] = {
-    "fig1": lambda: __import__(
-        "repro.experiments.fig01_cr_vs_dmr", fromlist=["run_fig01"]
-    ).run_fig01().as_csv(),
-    "fig3": lambda: __import__(
-        "repro.experiments.fig03_sync", fromlist=["run_fig03"]
-    ).run_fig03().as_csv(),
-    "fig7": lambda: __import__(
-        "repro.experiments.fig06_07_async", fromlist=["run_fig07"]
-    ).run_fig07().as_csv(),
-    "fig8": lambda: __import__(
-        "repro.experiments.fig08_heterogeneous", fromlist=["run_fig08"]
-    ).run_fig08().as_csv(),
-    "fig9": lambda: __import__(
-        "repro.experiments.fig09_inhibitor", fromlist=["run_fig09"]
-    ).run_fig09().as_csv(),
-    "table2": lambda: _realapps().as_csv(),
-}
+from repro.api.registry import ArtifactRegistry, builtin_registry
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -145,7 +38,7 @@ def build_parser() -> argparse.ArgumentParser:
         "artifacts",
         nargs="+",
         metavar="ARTIFACT",
-        help="'list', 'all', or any of: " + ", ".join(ARTIFACTS),
+        help="'list', 'all', 'run', or artifact names (see 'list')",
     )
     parser.add_argument(
         "--csv",
@@ -153,38 +46,161 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write <artifact>.csv files into DIR (where supported)",
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="base seed for stochastic workloads (default: the paper's 2017)",
+    )
+    run_opts = parser.add_argument_group(
+        "run mode", "replay a user-supplied workload: repro run --workload FILE"
+    )
+    run_opts.add_argument(
+        "--workload",
+        metavar="FILE.swf",
+        default=None,
+        help="Standard Workload Format log to execute",
+    )
+    run_opts.add_argument(
+        "--flexible",
+        action="store_true",
+        help="run the malleable rendition (default)",
+    )
+    run_opts.add_argument(
+        "--rigid",
+        action="store_true",
+        help="run the rigid rendition instead",
+    )
+    run_opts.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cluster size (default: the 65-node production testbed, "
+        "grown to fit the largest job)",
+    )
     return parser
+
+
+def _print_listing(registry: ArtifactRegistry) -> None:
+    print("reproducible artifacts:", ", ".join(registry.names()))
+    for name in registry.names():
+        spec = registry.get(name)
+        csv_tag = " [csv]" if spec.supports_csv else ""
+        print(f"  {name:<12} {spec.description}{csv_tag}")
+    print("also: 'run --workload FILE.swf [--flexible|--rigid]' "
+          "to replay your own workload")
+
+
+def _emit_csv(registry: ArtifactRegistry, name: str, seed: Optional[int],
+              directory: str) -> None:
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.csv")
+    with open(path, "w") as fh:
+        fh.write(registry.render_csv(name, seed=seed))
+    print(f"[csv written to {path}]")
+
+
+def _run_user_workload(args: argparse.Namespace) -> int:
+    """The ``repro run`` mode: execute a user-supplied SWF workload."""
+    from repro.api import Session, SimulationTimeout
+    from repro.cluster.configs import ClusterConfig
+    from repro.errors import WorkloadError
+    from repro.metrics.report import format_csv, format_table
+    from repro.workload.swf import parse_swf
+
+    if args.workload is None:
+        print("run mode needs --workload FILE.swf", file=sys.stderr)
+        return 2
+    if args.flexible and args.rigid:
+        print("--flexible and --rigid are mutually exclusive", file=sys.stderr)
+        return 2
+    try:
+        with open(args.workload) as fh:
+            text = fh.read()
+    except OSError as exc:
+        print(f"cannot read workload: {exc}", file=sys.stderr)
+        return 2
+    try:
+        spec = parse_swf(text)
+    except WorkloadError as exc:
+        print(f"invalid workload: {exc}", file=sys.stderr)
+        return 2
+
+    flexible = not args.rigid
+    largest = max(js.submit_nodes for js in spec.jobs)
+    num_nodes = args.nodes if args.nodes is not None else max(65, largest)
+    session = Session(cluster=ClusterConfig(num_nodes=num_nodes))
+    if args.seed is not None:
+        # SWF logs pin every job's size, runtime and arrival, so a replay
+        # is deterministic; keep the flag accepted (scripts pass it
+        # uniformly) but be explicit that it cannot change this run.
+        print("note: SWF replays are deterministic; --seed has no effect here")
+    try:
+        result = session.run(spec, flexible=flexible)
+    except SimulationTimeout as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    s = result.summary
+    rendition = "flexible" if flexible else "rigid"
+    headers = ["jobs", "rendition", "makespan (s)", "avg wait (s)",
+               "avg exec (s)", "utilization (%)", "resizes"]
+    cells = [[s.num_jobs, rendition, s.makespan, s.avg_wait_time,
+              s.avg_execution_time, 100.0 * s.utilization_rate,
+              s.resize_count]]
+    print(format_table(
+        headers, cells,
+        title=f"SWF replay: {args.workload} ({num_nodes} nodes)",
+    ))
+    if args.csv is not None:
+        os.makedirs(args.csv, exist_ok=True)
+        path = os.path.join(args.csv, "run.csv")
+        with open(path, "w") as fh:
+            fh.write(format_csv(
+                ["jobs", "rendition", "makespan_s", "avg_wait_s",
+                 "avg_exec_s", "utilization_pct", "resizes"],
+                cells,
+            ))
+        print(f"[csv written to {path}]")
+    return 0
 
 
 def main(argv: List[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.artifacts[0].lower() == "run":
+        if len(args.artifacts) > 1:
+            print("run mode takes no artifact names", file=sys.stderr)
+            return 2
+        return _run_user_workload(args)
+    if args.workload is not None:
+        print("--workload requires the 'run' mode", file=sys.stderr)
+        return 2
+
+    registry = builtin_registry()
     wanted: List[str] = []
     for name in args.artifacts:
         key = name.lower()
         if key == "list":
-            print("reproducible artifacts:", ", ".join(ARTIFACTS))
+            _print_listing(registry)
             continue
         if key == "all":
-            wanted.extend(ARTIFACTS)
+            wanted.extend(registry.names())
             continue
-        if key not in ARTIFACTS:
+        if key not in registry:
             print(f"unknown artifact {name!r}; try 'list'", file=sys.stderr)
             return 2
         wanted.append(key)
+
     seen = set()
     for key in wanted:
         if key in seen:
             continue
         seen.add(key)
-        print(ARTIFACTS[key]())
-        if args.csv is not None and key in CSV_SOURCES:
-            import os
-
-            os.makedirs(args.csv, exist_ok=True)
-            path = os.path.join(args.csv, f"{key}.csv")
-            with open(path, "w") as fh:
-                fh.write(CSV_SOURCES[key]())
-            print(f"[csv written to {path}]")
+        print(registry.render(key, seed=args.seed))
+        if args.csv is not None and registry.get(key).supports_csv:
+            _emit_csv(registry, key, args.seed, args.csv)
     return 0
 
 

@@ -47,6 +47,34 @@ class RedistributionError(RuntimeAPIError):
     """An expand/shrink data-redistribution plan could not be built."""
 
 
+class SimulationTimeout(ReproError):
+    """A workload did not run to completion within the simulation horizon.
+
+    Carries enough state to diagnose the stall: which jobs were still
+    pending or running when the horizon was reached, and how many job
+    specs were never even submitted.
+    """
+
+    def __init__(
+        self,
+        workload_name: str,
+        max_sim_time: float,
+        unsubmitted: int,
+        pending_job_ids: tuple,
+        running_job_ids: tuple,
+    ) -> None:
+        super().__init__(
+            f"workload {workload_name!r} did not finish by t={max_sim_time}: "
+            f"{unsubmitted} unsubmitted, {len(pending_job_ids)} pending, "
+            f"{len(running_job_ids)} running"
+        )
+        self.workload_name = workload_name
+        self.max_sim_time = max_sim_time
+        self.unsubmitted = unsubmitted
+        self.pending_job_ids = tuple(pending_job_ids)
+        self.running_job_ids = tuple(running_job_ids)
+
+
 class WorkloadError(ReproError):
     """Invalid workload-generation parameters."""
 

@@ -1,55 +1,34 @@
-"""Shared experiment driver: run one workload, collect the paper metrics.
+"""Backwards-compatible shims over the :mod:`repro.api` facade.
 
-Every figure/table reproduction builds on :func:`run_workload`: it stands
-up a fresh simulation (machine + Slurm controller + Nanos++ launcher),
-submits the workload's jobs at their arrival times, runs to completion and
-returns the trace plus Table II summary.
+Historically every figure driver called :func:`run_workload` here, which
+privately assembled ``Environment`` + ``SlurmController`` + the runtime
+launcher.  That assembly now lives in one place —
+:class:`repro.api.Session` — and this module keeps the old call
+signatures alive for tests, benchmarks and external scripts.  New code
+should use the session directly::
+
+    from repro.api import Session
+
+    result = Session(cluster=cluster).run(spec, flexible=True)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Optional
 
+from repro.api.results import PairedComparison, WorkloadResult
+from repro.api.session import DEFAULT_MAX_SIM_TIME, Session
 from repro.cluster.configs import ClusterConfig
-from repro.errors import ReproError
-from repro.metrics.summary import WorkloadSummary, summarize
-from repro.metrics.timeline import (
-    StepSeries,
-    allocated_nodes_series,
-    completed_jobs_series,
-    running_jobs_series,
-)
-from repro.metrics.trace import Trace
-from repro.runtime.nanos import RuntimeConfig, install_runtime_launcher
-from repro.sim.engine import Environment
-from repro.slurm.controller import SlurmConfig, SlurmController
-from repro.slurm.job import Job
+from repro.runtime.nanos import RuntimeConfig
+from repro.slurm.controller import SlurmConfig
 from repro.workload.spec import WorkloadSpec
 
-
-@dataclass
-class WorkloadResult:
-    """Everything an experiment needs from one workload execution."""
-
-    workload_name: str
-    flexible: bool
-    jobs: List[Job]
-    trace: Trace
-    summary: WorkloadSummary
-
-    @property
-    def makespan(self) -> float:
-        return self.summary.makespan
-
-    def allocation_series(self) -> StepSeries:
-        return allocated_nodes_series(self.trace)
-
-    def running_series(self) -> StepSeries:
-        return running_jobs_series(self.trace)
-
-    def completed_series(self) -> StepSeries:
-        return completed_jobs_series(self.trace)
+__all__ = [
+    "PairedComparison",
+    "WorkloadResult",
+    "run_paired",
+    "run_workload",
+]
 
 
 def run_workload(
@@ -58,67 +37,14 @@ def run_workload(
     flexible: bool,
     runtime_config: Optional[RuntimeConfig] = None,
     slurm_config: Optional[SlurmConfig] = None,
-    max_sim_time: float = 50_000_000.0,
+    max_sim_time: float = DEFAULT_MAX_SIM_TIME,
 ) -> WorkloadResult:
     """Execute one rendition (fixed or flexible) of a workload.
 
-    ``flexible=False`` forces every job rigid regardless of the spec —
-    this is how the paper's paired fixed/flexible comparisons are run.
+    Equivalent to ``Session(...).run(spec, flexible=flexible)``.
     """
-    env = Environment()
-    machine = cluster.build_machine()
-    controller = SlurmController(env, machine, config=slurm_config)
-    install_runtime_launcher(controller, cluster, runtime_config)
-
-    jobs: List[Job] = []
-
-    def submitter():
-        t = 0.0
-        for job_spec in spec.jobs:
-            if job_spec.arrival_time > t:
-                yield env.timeout(job_spec.arrival_time - t)
-                t = job_spec.arrival_time
-            jobs.append(controller.submit(job_spec.build_job(flexible)))
-
-    env.process(submitter(), name="submitter")
-    env.run(until=max_sim_time)
-    if len(jobs) < len(spec.jobs) or not controller.all_done():
-        raise ReproError(
-            f"workload {spec.name!r} did not finish by t={max_sim_time}: "
-            f"{len(spec.jobs) - len(jobs)} unsubmitted, "
-            f"{len(controller.pending)} pending, {len(controller.running)} running"
-        )
-
-    summary = summarize(jobs, controller.trace, machine.num_nodes)
-    return WorkloadResult(
-        workload_name=spec.name,
-        flexible=flexible,
-        jobs=jobs,
-        trace=controller.trace,
-        summary=summary,
-    )
-
-
-@dataclass
-class PairedComparison:
-    """A fixed-vs-flexible pair on the same workload (the paper's design)."""
-
-    fixed: WorkloadResult
-    flexible: WorkloadResult
-
-    @property
-    def makespan_gain(self) -> float:
-        from repro.metrics.summary import gain_percent
-
-        return gain_percent(self.fixed.makespan, self.flexible.makespan)
-
-    @property
-    def wait_gain(self) -> float:
-        from repro.metrics.summary import gain_percent
-
-        return gain_percent(
-            self.fixed.summary.avg_wait_time, self.flexible.summary.avg_wait_time
-        )
+    session = Session(cluster=cluster, slurm=slurm_config, runtime=runtime_config)
+    return session.run(spec, flexible=flexible, max_sim_time=max_sim_time)
 
 
 def run_paired(
@@ -128,9 +54,5 @@ def run_paired(
     slurm_config: Optional[SlurmConfig] = None,
 ) -> PairedComparison:
     """Run the fixed and flexible renditions of the same workload."""
-    return PairedComparison(
-        fixed=run_workload(spec, cluster, flexible=False,
-                           runtime_config=runtime_config, slurm_config=slurm_config),
-        flexible=run_workload(spec, cluster, flexible=True,
-                              runtime_config=runtime_config, slurm_config=slurm_config),
-    )
+    session = Session(cluster=cluster, slurm=slurm_config, runtime=runtime_config)
+    return session.run_paired(spec)

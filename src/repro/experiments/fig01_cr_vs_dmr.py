@@ -11,8 +11,9 @@ through the shared filesystem and relaunches the job.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
+from repro.api import artifact
 from repro.checkpoint.cr import (
     CheckpointRestart,
     CRConfig,
@@ -102,6 +103,13 @@ def run_fig01(
         for target in targets
     ]
     return Fig01Result(rows=rows, state_bytes=state_bytes)
+
+
+@artifact("fig1", csv=True,
+          description="C/R vs DMR non-solving (spawning) stages")
+def _fig1_artifact(seed: Optional[int] = None) -> Fig01Result:
+    # Fully analytic (cost models only) — the seed does not apply.
+    return run_fig01()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -12,8 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.api import PairedComparison, Session, artifact, default_seed
 from repro.cluster.configs import ClusterConfig, marenostrum_preliminary
-from repro.experiments.common import PairedComparison, run_paired
 from repro.metrics.report import format_table
 from repro.runtime.nanos import RuntimeConfig
 from repro.workload.generator import FSWorkloadConfig, fs_workload
@@ -70,19 +70,34 @@ def run_fig03(
     seed: int = 2017,
     cluster: Optional[ClusterConfig] = None,
     fs_config: Optional[FSWorkloadConfig] = None,
+    session: Optional[Session] = None,
 ) -> SweepResult:
-    """Run the synchronous fixed-vs-flexible sweep."""
-    cluster = cluster or marenostrum_preliminary()
+    """Run the synchronous fixed-vs-flexible sweep.
+
+    ``session`` may carry observers or Slurm tuning; the driver pins the
+    paper's testbed, runtime mode and seed on top of it.
+    """
     fs_config = fs_config or FSWorkloadConfig()
-    runtime = RuntimeConfig(async_mode=False)
+    session = (
+        (session or Session())
+        .with_cluster(cluster or marenostrum_preliminary())
+        .with_runtime(RuntimeConfig(async_mode=False))
+        .with_seed(seed)
+    )
     rows = []
     for n in job_counts:
         spec = fs_workload(n, seed=seed, config=fs_config)
-        rows.append(SweepRow(n, run_paired(spec, cluster, runtime_config=runtime)))
+        rows.append(SweepRow(n, session.run_paired(spec)))
     return SweepResult(
         title="Fig. 3: fixed vs flexible workloads (synchronous scheduling)",
         rows=rows,
     )
+
+
+@artifact("fig3", csv=True,
+          description="Fixed vs flexible FS workloads, synchronous scheduling")
+def _fig3_artifact(seed: Optional[int] = None) -> SweepResult:
+    return run_fig03(seed=default_seed(seed))
 
 
 if __name__ == "__main__":  # pragma: no cover

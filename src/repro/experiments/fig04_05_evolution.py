@@ -12,8 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.api import PairedComparison, Session, artifact, default_seed
 from repro.cluster.configs import ClusterConfig, marenostrum_preliminary
-from repro.experiments.common import PairedComparison, run_paired
 from repro.metrics.report import format_evolution
 from repro.runtime.nanos import RuntimeConfig
 from repro.workload.generator import FSWorkloadConfig, fs_workload
@@ -63,14 +63,21 @@ def run_evolution(
     cluster: Optional[ClusterConfig] = None,
     fs_config: Optional[FSWorkloadConfig] = None,
     async_mode: bool = False,
+    session: Optional[Session] = None,
 ) -> EvolutionResult:
-    """Run one paired workload and keep its full traces."""
-    cluster = cluster or marenostrum_preliminary()
-    spec = fs_workload(num_jobs, seed=seed, config=fs_config or FSWorkloadConfig())
-    pair = run_paired(
-        spec, cluster, runtime_config=RuntimeConfig(async_mode=async_mode)
+    """Run one paired workload and keep its full traces.
+
+    The evolution series come from the session's live
+    :class:`~repro.api.TimelineObserver`, not from post-hoc scraping.
+    """
+    session = (
+        (session or Session())
+        .with_cluster(cluster or marenostrum_preliminary())
+        .with_runtime(RuntimeConfig(async_mode=async_mode))
+        .with_seed(seed)
     )
-    return EvolutionResult(num_jobs=num_jobs, pair=pair)
+    spec = fs_workload(num_jobs, seed=seed, config=fs_config or FSWorkloadConfig())
+    return EvolutionResult(num_jobs=num_jobs, pair=session.run_paired(spec))
 
 
 def run_fig04(seed: int = 2017) -> EvolutionResult:
@@ -81,6 +88,16 @@ def run_fig04(seed: int = 2017) -> EvolutionResult:
 def run_fig05(seed: int = 2017) -> EvolutionResult:
     """Fig. 5: the 25-job workload."""
     return run_evolution(25, seed=seed)
+
+
+@artifact("fig4", description="Evolution in time of the 10-job FS workload")
+def _fig4_artifact(seed: Optional[int] = None) -> EvolutionResult:
+    return run_fig04(seed=default_seed(seed))
+
+
+@artifact("fig5", description="Evolution in time of the 25-job FS workload")
+def _fig5_artifact(seed: Optional[int] = None) -> EvolutionResult:
+    return run_fig05(seed=default_seed(seed))
 
 
 if __name__ == "__main__":  # pragma: no cover

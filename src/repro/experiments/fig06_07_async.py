@@ -12,10 +12,10 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.api import Session, artifact, default_seed
 from repro.cluster.configs import ClusterConfig, marenostrum_preliminary
 from repro.experiments.fig03_sync import SweepResult, SweepRow
 from repro.experiments.fig04_05_evolution import EvolutionResult, run_evolution
-from repro.experiments.common import run_paired
 from repro.runtime.nanos import RuntimeConfig
 from repro.workload.generator import FSWorkloadConfig, fs_workload
 
@@ -32,19 +32,36 @@ def run_fig07(
     seed: int = 2017,
     cluster: Optional[ClusterConfig] = None,
     fs_config: Optional[FSWorkloadConfig] = None,
+    session: Optional[Session] = None,
 ) -> SweepResult:
     """Fig. 7: the fixed-vs-flexible sweep with asynchronous decisions."""
-    cluster = cluster or marenostrum_preliminary()
     fs_config = fs_config or FSWorkloadConfig()
-    runtime = RuntimeConfig(async_mode=True)
+    session = (
+        (session or Session())
+        .with_cluster(cluster or marenostrum_preliminary())
+        .with_runtime(RuntimeConfig(async_mode=True))
+        .with_seed(seed)
+    )
     rows = []
     for n in job_counts:
         spec = fs_workload(n, seed=seed, config=fs_config)
-        rows.append(SweepRow(n, run_paired(spec, cluster, runtime_config=runtime)))
+        rows.append(SweepRow(n, session.run_paired(spec)))
     return SweepResult(
         title="Fig. 7: fixed vs flexible workloads (asynchronous scheduling)",
         rows=rows,
     )
+
+
+@artifact("fig6",
+          description="Evolution of the 10-job workload, asynchronous mode")
+def _fig6_artifact(seed: Optional[int] = None) -> EvolutionResult:
+    return run_fig06(seed=default_seed(seed))
+
+
+@artifact("fig7", csv=True,
+          description="Fixed vs flexible FS workloads, asynchronous scheduling")
+def _fig7_artifact(seed: Optional[int] = None) -> SweepResult:
+    return run_fig07(seed=default_seed(seed))
 
 
 if __name__ == "__main__":  # pragma: no cover

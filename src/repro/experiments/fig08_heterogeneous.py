@@ -10,8 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence
 
+from repro.api import Session, WorkloadResult, artifact, default_seed
 from repro.cluster.configs import ClusterConfig, marenostrum_preliminary
-from repro.experiments.common import WorkloadResult, run_workload
 from repro.metrics.report import format_table
 from repro.metrics.summary import gain_percent
 from repro.runtime.nanos import RuntimeConfig
@@ -76,6 +76,7 @@ def run_fig08(
     seeds: Sequence[int] = (2017, 2018, 2019),
     cluster: Optional[ClusterConfig] = None,
     fs_config: Optional[FSWorkloadConfig] = None,
+    session: Optional[Session] = None,
 ) -> Fig08Result:
     """Run the heterogeneous-rate sweep.
 
@@ -84,20 +85,28 @@ def run_fig08(
     per-job uniform draw is compared against the rate); several seeds are
     averaged because which jobs end up flexible perturbs packing.
     """
-    cluster = cluster or marenostrum_preliminary()
     base_cfg = fs_config or FSWorkloadConfig()
-    runtime = RuntimeConfig()
+    session = (
+        (session or Session())
+        .with_cluster(cluster or marenostrum_preliminary())
+        .with_runtime(RuntimeConfig())
+    )
     rows = []
     for rate in rates:
         cfg = replace(base_cfg, flexible_ratio=rate)
         results = []
         for seed in seeds:
             spec = fs_workload(num_jobs, seed=seed, config=cfg)
-            results.append(
-                run_workload(spec, cluster, flexible=True, runtime_config=runtime)
-            )
+            results.append(session.run(spec, flexible=True))
         rows.append(Fig08Row(rate, results))
     return Fig08Result(rows=rows)
+
+
+@artifact("fig8", csv=True,
+          description="Execution time vs rate of flexible jobs (heterogeneous)")
+def _fig8_artifact(seed: Optional[int] = None) -> Fig08Result:
+    base = default_seed(seed)
+    return run_fig08(seeds=(base, base + 1, base + 2))
 
 
 if __name__ == "__main__":  # pragma: no cover

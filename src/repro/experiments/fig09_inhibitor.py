@@ -13,8 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
+from repro.api import Session, artifact, default_seed
 from repro.cluster.configs import ClusterConfig, marenostrum_preliminary
-from repro.experiments.common import run_workload
 from repro.metrics.report import format_table
 from repro.metrics.summary import gain_percent
 from repro.runtime.nanos import RuntimeConfig
@@ -99,23 +99,24 @@ def run_fig09(
     seed: int = 2017,
     cluster: Optional[ClusterConfig] = None,
     check_cost: float = 0.15,
+    session: Optional[Session] = None,
 ) -> Fig09Result:
     """Run the inhibitor-period study."""
-    cluster = cluster or marenostrum_preliminary()
+    base = (
+        (session or Session())
+        .with_cluster(cluster or marenostrum_preliminary())
+        .with_seed(seed)
+    )
+    flexible_session = base.with_runtime(RuntimeConfig(check_cost=check_cost))
     cells: List[Fig09Cell] = []
     for n in job_counts:
         # Fixed baseline, shared across all periods of this workload size.
         base_spec = fs_workload(n, seed=seed, config=MICROSTEP_CONFIG)
-        fixed = run_workload(base_spec, cluster, flexible=False)
+        fixed = base.run(base_spec, flexible=False)
         for period in periods:
             cfg = replace(MICROSTEP_CONFIG, sched_period=period or 0.0)
             spec = fs_workload(n, seed=seed, config=cfg)
-            flexible = run_workload(
-                spec,
-                cluster,
-                flexible=True,
-                runtime_config=RuntimeConfig(check_cost=check_cost),
-            )
+            flexible = flexible_session.run(spec, flexible=True)
             cells.append(
                 Fig09Cell(
                     num_jobs=n,
@@ -125,6 +126,12 @@ def run_fig09(
                 )
             )
     return Fig09Result(cells=cells)
+
+
+@artifact("fig9", csv=True,
+          description="Micro-step workloads under checking-inhibitor periods")
+def _fig9_artifact(seed: Optional[int] = None) -> Fig09Result:
+    return run_fig09(seed=default_seed(seed))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,8 +14,9 @@ These classifications are what the Table I ``preferred`` values encode.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.api import artifact
 from repro.apps.base import AppModel
 from repro.apps.cg import conjugate_gradient
 from repro.apps.jacobi import jacobi
@@ -112,6 +113,13 @@ def run_scalability(
             )
         )
     return ScalabilityResult(rows=rows)
+
+
+@artifact("scalability",
+          description="Section IX-A individual application scalability")
+def _scalability_artifact(seed: Optional[int] = None) -> ScalabilityResult:
+    # Deterministic scalability curves — the seed does not apply.
+    return run_scalability()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -12,6 +12,7 @@ from repro.metrics.timeline import (
     allocated_nodes_series,
     completed_jobs_series,
     running_jobs_series,
+    step_series,
 )
 from repro.metrics.trace import EventKind, Trace, TraceEvent
 
@@ -29,5 +30,6 @@ __all__ = [
     "gain_percent",
     "running_jobs_series",
     "sparkline",
+    "step_series",
     "summarize",
 ]

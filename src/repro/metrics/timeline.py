@@ -57,6 +57,17 @@ class StepSeries:
         return [self.at(t) for t in times]
 
 
+def step_series(points: Sequence[Tuple[float, float]]) -> StepSeries:
+    """Build a :class:`StepSeries` from (time, value) points.
+
+    Points must arrive in non-decreasing time order; multiple values at
+    the same timestamp collapse to the last one (the step function is
+    right-continuous).  This is the builder live observers use to turn
+    event streams into series without re-scraping the trace.
+    """
+    return _dedupe(list(points))
+
+
 def _dedupe(points: List[Tuple[float, float]]) -> StepSeries:
     """Keep only the last value per timestamp."""
     times: List[float] = []

@@ -44,10 +44,25 @@ class TraceEvent:
 
 
 class Trace:
-    """Append-only event log with small query helpers."""
+    """Append-only event log with small query helpers.
+
+    Besides the post-hoc queries, a trace supports *live* consumption:
+    :meth:`subscribe` registers a callback invoked with every event the
+    moment it is recorded.  The :class:`repro.api.Session` observer
+    machinery is built on this hook.
+    """
 
     def __init__(self) -> None:
         self.events: List[TraceEvent] = []
+        self._subscribers: List[Any] = []
+
+    def subscribe(self, callback) -> None:
+        """Call ``callback(event)`` for every subsequently recorded event."""
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback) -> None:
+        """Remove a previously registered live callback."""
+        self._subscribers.remove(callback)
 
     def record(
         self,
@@ -58,6 +73,8 @@ class Trace:
     ) -> TraceEvent:
         event = TraceEvent(time=time, kind=kind, job_id=job_id, data=data)
         self.events.append(event)
+        for callback in self._subscribers:
+            callback(event)
         return event
 
     def __len__(self) -> int:

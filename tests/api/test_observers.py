@@ -1,0 +1,126 @@
+"""Tests for observer dispatch and live timeline assembly."""
+
+from repro.api import CallbackObserver, Session, SessionObserver, TimelineObserver
+from repro.cluster import marenostrum_preliminary
+from repro.metrics import EventKind, allocated_nodes_series, running_jobs_series
+from repro.slurm.job import Job
+from repro.workload import FSWorkloadConfig, fs_workload
+
+SMALL_FS = FSWorkloadConfig(steps=4)
+
+
+class Recorder(SessionObserver):
+    def __init__(self):
+        self.submits = []
+        self.starts = []
+        self.resizes = []
+        self.completes = []
+        self.raw = []
+
+    def on_submit(self, time, job):
+        self.submits.append((time, job))
+
+    def on_start(self, time, job):
+        self.starts.append((time, job))
+
+    def on_resize(self, time, job, event):
+        self.resizes.append((time, job, event))
+
+    def on_complete(self, time, job):
+        self.completes.append((time, job))
+
+    def on_event(self, event):
+        self.raw.append(event)
+
+
+def run_with(observer, num_jobs=6, flexible=True, seed=3):
+    session = Session(cluster=marenostrum_preliminary()).observe(observer)
+    spec = fs_workload(num_jobs, seed=seed, config=SMALL_FS)
+    return session.run(spec, flexible=flexible)
+
+
+class TestDispatch:
+    def test_typed_callbacks_cover_every_workload_job(self):
+        rec = Recorder()
+        result = run_with(rec, num_jobs=6)
+        assert len(rec.submits) == 6
+        assert len(rec.starts) == 6
+        assert len(rec.completes) == 6
+        assert all(isinstance(job, Job) for _, job in rec.submits)
+        # Resizer helper jobs are filtered from the typed callbacks...
+        assert all(not job.is_resizer for _, job in rec.submits)
+        # ...but the raw stream carries the full trace.
+        assert len(rec.raw) == len(result.trace)
+
+    def test_resize_callback_matches_trace(self):
+        rec = Recorder()
+        result = run_with(rec, num_jobs=6, flexible=True)
+        resize_events = result.trace.of_kind(
+            EventKind.RESIZE_EXPAND, EventKind.RESIZE_SHRINK
+        )
+        assert len(rec.resizes) == len(resize_events)
+        assert len(resize_events) > 0  # this workload does reconfigure
+
+    def test_fixed_run_never_resizes(self):
+        rec = Recorder()
+        run_with(rec, num_jobs=4, flexible=False)
+        assert rec.resizes == []
+
+    def test_callback_observer_adapter(self):
+        done = []
+        obs = CallbackObserver(on_complete=lambda t, job: done.append(job.name))
+        run_with(obs, num_jobs=4)
+        assert len(done) == 4
+
+    def test_cancelled_jobs_reach_on_complete(self):
+        from repro.slurm import Job, JobClass
+
+        rec = Recorder()
+        session = Session(cluster=marenostrum_preliminary()).observe(rec)
+        sim = session.build()
+        job = Job(name="doomed", num_nodes=2, time_limit=10.0,
+                  job_class=JobClass.RIGID)
+        sim.controller.submit(job)
+        sim.controller.cancel_job(job)
+        assert [j.name for _, j in rec.completes] == ["doomed"]
+
+    def test_dispatch_detached_after_execution(self):
+        # The returned result keeps the trace; the live hook must not pin
+        # the controller/machine/environment behind it.
+        result = run_with(Recorder(), num_jobs=3)
+        assert result.trace._subscribers == []
+
+    def test_observer_sees_both_renditions_of_a_pair(self):
+        rec = Recorder()
+        session = Session(cluster=marenostrum_preliminary()).observe(rec)
+        session.run_paired(fs_workload(3, seed=1, config=SMALL_FS))
+        assert len(rec.completes) == 6  # 3 fixed + 3 flexible
+
+
+class TestLiveTimelines:
+    def test_live_series_match_trace_scraping(self):
+        result = run_with(SessionObserver(), num_jobs=6)
+        live_alloc = result.allocation_series()
+        live_running = result.running_series()
+        scraped_alloc = allocated_nodes_series(result.trace)
+        scraped_running = running_jobs_series(result.trace)
+        assert live_alloc.times == scraped_alloc.times
+        assert live_alloc.values == scraped_alloc.values
+        assert live_running.times == scraped_running.times
+        assert live_running.values == scraped_running.values
+
+    def test_result_serves_observer_built_series(self):
+        result = run_with(SessionObserver(), num_jobs=4)
+        assert result.timelines is not None
+        # The accessor returns the live series, not a fresh scrape.
+        assert result.allocation_series() is result.timelines.allocation
+        assert result.running_series() is result.timelines.running
+
+    def test_standalone_timeline_observer(self):
+        timeline = TimelineObserver()
+        result = run_with(timeline, num_jobs=5)
+        series = timeline.allocation_series()
+        assert series.values[-1] == 0.0
+        assert max(series.values) <= 20
+        snap = timeline.snapshot()
+        assert snap.running.at(result.trace.last_time() + 1) == 0.0

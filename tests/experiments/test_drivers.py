@@ -93,6 +93,19 @@ class TestSweepDrivers:
         assert "Sched 5" in result.as_table()
 
 
+class TestSessionPlumbing:
+    def test_drivers_accept_a_base_session(self):
+        """Observers attached to the base session see every driver run."""
+        from repro.api import CallbackObserver, Session
+
+        completed = []
+        base = Session().observe(
+            CallbackObserver(on_complete=lambda t, job: completed.append(job.name))
+        )
+        run_fig03(job_counts=(4,), seed=1, fs_config=SMALL_FS, session=base)
+        assert len(completed) == 8  # 4 jobs x fixed + flexible
+
+
 class TestRealAppsDriver:
     def test_small_run_csv_and_tables(self):
         from repro.experiments.fig10_12_realapps import run_realapps

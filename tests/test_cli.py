@@ -1,19 +1,85 @@
-"""Tests for the command-line interface."""
+"""Tests for the command-line interface (registry-driven)."""
 
 import pytest
 
-from repro.cli import ARTIFACTS, main
+import repro.cli as cli
+from repro.api.registry import ArtifactRegistry, builtin_registry
+from repro.cli import main
 
+
+class FakeResult:
+    def __init__(self, tag):
+        self.tag = tag
+
+    def as_table(self):
+        return f"TABLE<{self.tag}>"
+
+    def as_csv(self):
+        return f"col\n{self.tag}"
+
+
+@pytest.fixture
+def stub_registry(monkeypatch):
+    """A tiny fast registry: two artifacts, one with CSV support."""
+    reg = ArtifactRegistry()
+    calls = []
+
+    @reg.artifact("alpha", csv=True, description="first")
+    def alpha(seed=None):
+        calls.append(("alpha", seed))
+        return FakeResult(f"alpha-{seed}")
+
+    @reg.artifact("beta", description="second")
+    def beta(seed=None):
+        calls.append(("beta", seed))
+        return FakeResult(f"beta-{seed}")
+
+    monkeypatch.setattr(cli, "builtin_registry", lambda: reg)
+    reg.calls = calls
+    return reg
+
+
+# -- artifact selection ------------------------------------------------------
 
 def test_list(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out
     assert "fig10" in out and "table2" in out
+    assert "run --workload" in out
 
 
 def test_unknown_artifact(capsys):
     assert main(["nope"]) == 2
     assert "unknown artifact" in capsys.readouterr().err
+
+
+def test_unknown_artifact_aborts_before_rendering(stub_registry, capsys):
+    assert main(["alpha", "nope"]) == 2
+    assert stub_registry.calls == []  # nothing ran
+
+
+def test_single_artifact(stub_registry, capsys):
+    assert main(["alpha"]) == 0
+    assert "TABLE<alpha-None>" in capsys.readouterr().out
+
+
+def test_all_selects_everything_once(stub_registry, capsys):
+    assert main(["all", "alpha"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("TABLE<alpha-None>") == 1
+    assert out.count("TABLE<beta-None>") == 1
+
+
+def test_multiple_artifacts_deduplicated(stub_registry, capsys):
+    assert main(["alpha", "alpha"]) == 0
+    assert capsys.readouterr().out.count("TABLE<alpha") == 1
+    assert stub_registry.calls == [("alpha", None)]
+
+
+def test_seed_is_plumbed_to_producers(stub_registry, capsys):
+    assert main(["alpha", "--seed", "7"]) == 0
+    assert stub_registry.calls == [("alpha", 7)]
+    assert "TABLE<alpha-7>" in capsys.readouterr().out
 
 
 def test_fig1_prints_table(capsys):
@@ -23,11 +89,18 @@ def test_fig1_prints_table(capsys):
     assert "48-24" in out
 
 
-def test_multiple_artifacts_deduplicated(capsys):
-    assert main(["fig1", "fig1"]) == 0
-    out = capsys.readouterr().out
-    assert out.count("Fig. 1:") == 1
+def test_scalability_artifact(capsys):
+    assert main(["scalability"]) == 0
+    assert "sweet spot" in capsys.readouterr().out
 
+
+def test_registry_covers_every_eval_artifact():
+    expected = {f"fig{i}" for i in (1, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12)}
+    expected |= {"table2", "scalability"}
+    assert set(builtin_registry().names()) == expected
+
+
+# -- CSV emission ------------------------------------------------------------
 
 def test_csv_output(tmp_path, capsys):
     out = tmp_path / "csvs"
@@ -39,19 +112,94 @@ def test_csv_output(tmp_path, capsys):
     assert "csv written" in capsys.readouterr().out
 
 
-def test_csv_skipped_for_unsupported_artifact(tmp_path):
+def test_csv_skipped_for_unsupported_artifact(stub_registry, tmp_path, capsys):
     out = tmp_path / "csvs"
-    assert main(["fig4", "--csv", str(out)]) == 0
-    assert not (out / "fig4.csv").exists()
+    assert main(["beta", "--csv", str(out)]) == 0
+    assert not (out / "beta.csv").exists()
 
 
-def test_registry_covers_every_eval_artifact():
-    expected = {f"fig{i}" for i in (1, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12)}
-    expected |= {"table2", "scalability"}
-    assert set(ARTIFACTS) == expected
+def test_csv_written_only_for_supporting_artifacts(stub_registry, tmp_path):
+    out = tmp_path / "csvs"
+    assert main(["all", "--csv", str(out)]) == 0
+    assert (out / "alpha.csv").read_text() == "col\nalpha-None"
+    assert not (out / "beta.csv").exists()
 
 
-def test_scalability_artifact(capsys):
-    assert main(["scalability"]) == 0
+def test_csv_render_reuses_cached_result(stub_registry, tmp_path):
+    assert main(["alpha", "--csv", str(tmp_path)]) == 0
+    # One producer call serves both the table and the CSV.
+    assert stub_registry.calls == [("alpha", None)]
+
+
+# -- run mode ----------------------------------------------------------------
+
+TINY_SWF = """\
+; two tiny jobs
+1 0 -1 8 2 -1 -1 2 10 -1 1 -1 -1 -1 -1 -1 -1 -1
+2 1 -1 8 1 -1 -1 1 10 -1 1 -1 -1 -1 -1 -1 -1 -1
+"""
+
+
+@pytest.fixture
+def swf_file(tmp_path):
+    path = tmp_path / "tiny.swf"
+    path.write_text(TINY_SWF)
+    return path
+
+
+def test_run_flexible(swf_file, capsys):
+    assert main(["run", "--workload", str(swf_file), "--flexible"]) == 0
     out = capsys.readouterr().out
-    assert "sweet spot" in out
+    assert "SWF replay" in out
+    assert "flexible" in out
+
+
+def test_run_rigid_with_nodes_and_seed(swf_file, capsys):
+    assert main(["run", "--workload", str(swf_file), "--rigid",
+                 "--nodes", "4", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "rigid" in out
+    assert "(4 nodes)" in out
+    # Replays are deterministic; the CLI says so instead of silently
+    # swallowing the flag.
+    assert "--seed has no effect" in out
+
+
+def test_run_rejects_unusable_swf(tmp_path, capsys):
+    bad = tmp_path / "bad.swf"
+    bad.write_text("; comments only, no jobs\n")
+    assert main(["run", "--workload", str(bad)]) == 2
+    assert "invalid workload" in capsys.readouterr().err
+
+
+def test_run_writes_csv(swf_file, tmp_path, capsys):
+    out_dir = tmp_path / "csvs"
+    assert main(["run", "--workload", str(swf_file), "--csv", str(out_dir)]) == 0
+    text = (out_dir / "run.csv").read_text()
+    assert text.startswith("jobs,rendition,")
+
+
+def test_run_requires_workload(capsys):
+    assert main(["run"]) == 2
+    assert "--workload" in capsys.readouterr().err
+
+
+def test_run_rejects_flexible_and_rigid(swf_file, capsys):
+    assert main(["run", "--workload", str(swf_file),
+                 "--flexible", "--rigid"]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_run_rejects_extra_artifacts(swf_file, capsys):
+    assert main(["run", "fig1", "--workload", str(swf_file)]) == 2
+    assert "no artifact names" in capsys.readouterr().err
+
+
+def test_run_unreadable_workload(tmp_path, capsys):
+    assert main(["run", "--workload", str(tmp_path / "missing.swf")]) == 2
+    assert "cannot read workload" in capsys.readouterr().err
+
+
+def test_workload_flag_requires_run_mode(swf_file, capsys):
+    assert main(["fig1", "--workload", str(swf_file)]) == 2
+    assert "requires the 'run' mode" in capsys.readouterr().err
