@@ -19,6 +19,7 @@ this package; nothing outside it assembles ``Environment`` +
 
 from repro.api.observers import (
     CallbackObserver,
+    EventCounter,
     LiveTimelines,
     SessionObserver,
     TimelineObserver,
@@ -37,6 +38,7 @@ from repro.api.session import (
     LiveSimulation,
     Session,
     SessionRun,
+    SessionSpec,
 )
 from repro.errors import SimulationTimeout
 
@@ -45,6 +47,7 @@ __all__ = [
     "ArtifactSpec",
     "CallbackObserver",
     "DEFAULT_MAX_SIM_TIME",
+    "EventCounter",
     "LiveSimulation",
     "LiveTimelines",
     "PairedComparison",
@@ -52,6 +55,7 @@ __all__ = [
     "Session",
     "SessionObserver",
     "SessionRun",
+    "SessionSpec",
     "SimulationTimeout",
     "TimelineObserver",
     "WorkloadResult",

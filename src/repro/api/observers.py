@@ -113,6 +113,57 @@ class TimelineObserver(SessionObserver):
         )
 
 
+class EventCounter(SessionObserver):
+    """Counts the typed session events; the sweep engine's fan-in currency.
+
+    Observers cannot stream live across a process boundary, so sweep
+    pool workers attach one of these to their in-worker session and ship
+    the final tallies back with the cell result; the parent fans the
+    per-cell counts back together with :meth:`merge`
+    (``SweepResult.total_events``).  ``as_dict`` is the
+    (JSON-serializable) wire form.
+    """
+
+    def __init__(self) -> None:
+        self.submits = 0
+        self.starts = 0
+        self.resizes = 0
+        self.completions = 0
+        self.raw_events = 0
+
+    def on_submit(self, time: float, job: Job) -> None:
+        self.submits += 1
+
+    def on_start(self, time: float, job: Job) -> None:
+        self.starts += 1
+
+    def on_resize(self, time: float, job: Job, event: TraceEvent) -> None:
+        self.resizes += 1
+
+    def on_complete(self, time: float, job: Job) -> None:
+        self.completions += 1
+
+    def on_event(self, event: TraceEvent) -> None:
+        self.raw_events += 1
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "submits": self.submits,
+            "starts": self.starts,
+            "resizes": self.resizes,
+            "completions": self.completions,
+            "raw_events": self.raw_events,
+        }
+
+    def merge(self, counts: Dict[str, int]) -> None:
+        """Fan in a worker's tallies (the inverse of :meth:`as_dict`)."""
+        self.submits += counts.get("submits", 0)
+        self.starts += counts.get("starts", 0)
+        self.resizes += counts.get("resizes", 0)
+        self.completions += counts.get("completions", 0)
+        self.raw_events += counts.get("raw_events", 0)
+
+
 class CallbackObserver(SessionObserver):
     """Adapter turning plain callables into an observer.
 

@@ -56,11 +56,28 @@ class ArtifactSpec:
 
 
 class ArtifactRegistry:
-    """Ordered name → :class:`ArtifactSpec` mapping with a result cache."""
+    """Ordered name → :class:`ArtifactSpec` mapping with a result cache.
+
+    Two caches cooperate here:
+
+    * the **in-memory** per-``(name, seed)`` result-object cache, which
+      lets one producer serve both the text and CSV forms within a
+      process.  It is *process-local by design*: sweep pool workers are
+      fresh processes and therefore always start with an empty cache, so
+      a worker can never observe another cell's results.  Tests that
+      need a clean slate call :meth:`clear_cache` instead of poking
+      ``_results``;
+    * an optional **on-disk** render cache (:meth:`attach_store`): the
+      *rendered* text/CSV strings are persisted in a
+      :class:`~repro.store.ResultStore` keyed by (artifact, seed, form)
+      plus the store's code-version salt, so repeated ``repro figN``
+      invocations across processes skip the simulation entirely.
+    """
 
     def __init__(self) -> None:
         self._specs: Dict[str, ArtifactSpec] = {}
         self._results: Dict[Tuple[str, Optional[int]], object] = {}
+        self._store = None
 
     # -- registration -------------------------------------------------------
     def artifact(
@@ -127,9 +144,34 @@ class ArtifactRegistry:
                 f"unknown artifact {name!r}; known: {', '.join(self._specs)}"
             ) from None
 
+    # -- the on-disk render cache -------------------------------------------
+    def attach_store(self, store) -> None:
+        """Serve/persist rendered artifacts through a ``ResultStore``."""
+        self._store = store
+
+    def detach_store(self) -> None:
+        self._store = None
+
+    def _render_spec(self, name: str, seed: Optional[int], form: str) -> dict:
+        # `repro fig3` and `repro fig3 --seed 2017` are the same render;
+        # address both by the resolved seed.
+        return {"artifact": name, "seed": default_seed(seed), "form": form}
+
+    def _rendered(self, name: str, seed: Optional[int], form: str,
+                  render: Callable[[], str]) -> str:
+        if self._store is None:
+            return render()
+        spec = self._render_spec(name, seed, form)
+        cached = self._store.get(spec)
+        if isinstance(cached, str):
+            return cached
+        text = render()
+        self._store.put(spec, text)
+        return text
+
     # -- production ---------------------------------------------------------
     def result_for(self, name: str, seed: Optional[int] = None) -> object:
-        """Produce (or fetch from cache) the result object for ``name``."""
+        """Produce (or fetch from the in-memory cache) the result object."""
         key = (name, seed)
         if key not in self._results:
             self._results[key] = self.get(name).producer(seed=seed)
@@ -137,16 +179,22 @@ class ArtifactRegistry:
 
     def render(self, name: str, seed: Optional[int] = None) -> str:
         """The artifact's text form (table or evolution chart)."""
-        return self.get(name).text(self.result_for(name, seed))
+        spec = self.get(name)
+        return self._rendered(
+            name, seed, "text", lambda: spec.text(self.result_for(name, seed))
+        )
 
     def render_csv(self, name: str, seed: Optional[int] = None) -> str:
         """The artifact's CSV form; raises for artifacts without one."""
         spec = self.get(name)
         if spec.csv is None:
             raise KeyError(f"artifact {name!r} has no CSV form")
-        return spec.csv(self.result_for(name, seed))
+        return self._rendered(
+            name, seed, "csv", lambda: spec.csv(self.result_for(name, seed))
+        )
 
     def clear_cache(self) -> None:
+        """Drop the in-memory result cache (the public test hook)."""
         self._results.clear()
 
 

@@ -60,6 +60,36 @@ class LiveSimulation:
 
 
 @dataclass(frozen=True)
+class SessionSpec:
+    """A picklable, observer-free snapshot of a :class:`Session`.
+
+    Every field is a plain dataclass of primitives, so a spec crosses a
+    process boundary unchanged and :meth:`build` reconstitutes an
+    equivalent session on the other side.  The sweep engine's workers
+    resolve each cell's axes into one of these
+    (``repro.sweep.runner.session_spec_for``) before building the
+    session they run.  Observers are deliberately not part of the spec —
+    they may close over live state; workers attach their own.
+    """
+
+    cluster: Optional[ClusterConfig] = None
+    slurm: Optional[SlurmConfig] = None
+    runtime: Optional[RuntimeConfig] = None
+    seed: Optional[int] = None
+    max_sim_time: float = DEFAULT_MAX_SIM_TIME
+
+    def build(self) -> "Session":
+        """Reconstitute the session this spec describes."""
+        return Session(
+            cluster=self.cluster,
+            slurm=self.slurm,
+            runtime=self.runtime,
+            seed=self.seed,
+            max_sim_time=self.max_sim_time,
+        )
+
+
+@dataclass(frozen=True)
 class Session:
     """Immutable builder + executor for workload simulations."""
 
@@ -103,6 +133,21 @@ class Session:
     def observe(self, *observers: SessionObserver) -> "Session":
         """Attach observers; they receive live events from every run."""
         return replace(self, observers=self.observers + tuple(observers))
+
+    def spec(self) -> SessionSpec:
+        """Export the picklable (observer-free) form of this session."""
+        return SessionSpec(
+            cluster=self.cluster,
+            slurm=self.slurm,
+            runtime=self.runtime,
+            seed=self.seed,
+            max_sim_time=self.max_sim_time,
+        )
+
+    @classmethod
+    def from_spec(cls, spec: SessionSpec) -> "Session":
+        """Reconstitute a session from its exported spec."""
+        return spec.build()
 
     # -- derived configuration --------------------------------------------
     @property

@@ -9,10 +9,19 @@ Usage::
     python -m repro fig3 --seed 7       # reseed the stochastic workloads
     python -m repro run --workload my.swf --flexible --seed 7
                                         # replay a user-supplied SWF log
+    python -m repro sweep --artifact fig3 --seeds 5 --jobs 4
+                                        # seed ensemble with 95% CIs
+    python -m repro sweep --workload fs --num-jobs 25,50 --policies default,deepest
+                                        # grid sweep over workload axes
+    python -m repro bench --quick       # emit BENCH_sweep.json
+    python -m repro cache ls            # inspect the on-disk result store
 
 Artifacts are served from the declarative :mod:`repro.api` registry —
 each ``experiments`` module registers its producers with
-``@artifact(...)`` and this module only iterates the registry.
+``@artifact(...)`` and this module only iterates the registry.  Sweeps
+and benches go through :mod:`repro.sweep`; rendered artifacts and sweep
+cells are cached in the :mod:`repro.store` result store (disable with
+``--no-cache``).
 """
 
 from __future__ import annotations
@@ -79,6 +88,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="cluster size (default: the 65-node production testbed, "
         "grown to fit the largest job)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result store (always re-simulate)",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="result-store directory (default: $REPRO_CACHE_DIR or .repro-cache)",
     )
     return parser
 
@@ -167,7 +187,253 @@ def _run_user_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- sweep / bench / cache modes ---------------------------------------------
+
+def _int_list(text: str) -> List[int]:
+    try:
+        return [int(part) for part in text.split(",") if part]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a comma-separated int list: {text!r}")
+
+
+def _str_list(text: str) -> List[str]:
+    return [part for part in text.split(",") if part]
+
+
+def _store_for(args: argparse.Namespace):
+    if args.no_cache:
+        return None
+    from repro.store import default_store
+
+    return default_store(args.store)
+
+
+class _PrintProgress:
+    """Stderr per-cell progress lines for ``repro sweep`` / ``bench``."""
+
+    def on_cell_start(self, index, total, spec):
+        print(f"[{index + 1:>3}/{total}] run    {spec.describe()}",
+              file=sys.stderr)
+
+    def on_cell_done(self, index, total, outcome):
+        tag = "cached" if outcome.cached else f"{outcome.wall_time:.1f}s"
+        print(
+            f"[{index + 1:>3}/{total}] done   {outcome.spec.describe()} ({tag})",
+            file=sys.stderr,
+        )
+
+
+def _sweep_progress(quiet: bool):
+    from repro.sweep import SweepObserver  # noqa: F401  (protocol anchor)
+
+    return () if quiet else (_PrintProgress(),)
+
+
+def _report_store(store) -> None:
+    if store is None:
+        return
+    s = store.stats()
+    served = s["hits"]
+    total = s["hits"] + s["misses"]
+    print(
+        f"store {store.root}: served {served}/{total} lookups from cache "
+        f"({s['puts']} new records); inspect with 'repro cache ls'"
+    )
+
+
+def _build_sweep_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description="Run a parameter grid as independent cells with "
+        "seed-ensemble statistics (mean, median, stdev, 95% CI).",
+    )
+    parser.add_argument("--artifact", action="append", metavar="NAME",
+                        help="ensemble a registered artifact (repeatable)")
+    parser.add_argument("--workload", action="append", metavar="FAMILY",
+                        choices=("fs", "realapps"),
+                        help="sweep a workload family instead (repeatable)")
+    parser.add_argument("--num-jobs", type=_int_list, default=None,
+                        metavar="N1,N2,...", help="workload sizes axis")
+    parser.add_argument("--nodes", type=_int_list, default=None,
+                        metavar="N1,N2,...", help="cluster sizes axis")
+    parser.add_argument("--policies", type=_str_list, default=None,
+                        metavar="P1,P2,...",
+                        help="policy presets axis (default, deepest, literal)")
+    parser.add_argument("--seeds", type=int, default=5, metavar="K",
+                        help="ensemble width: K consecutive seeds (default 5)")
+    parser.add_argument("--base-seed", type=int, default=None, metavar="S",
+                        help="first seed of the ensemble (default 2017)")
+    parser.add_argument("--async", dest="async_mode", action="store_true",
+                        help="asynchronous DMR mode for workload cells")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (1 = serial, default)")
+    parser.add_argument("--csv", nargs="?", const="-", default=None,
+                        metavar="DIR",
+                        help="emit aggregated CSV (bare: to stdout; "
+                        "DIR: into DIR/sweep.csv)")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="result-store directory")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result store")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-cell progress on stderr")
+    return parser
+
+
+def _sweep_mode(argv: List[str]) -> int:
+    from repro.errors import SimulationTimeout, SweepError
+    from repro.sweep import Sweep, SweepRunner
+    from repro.sweep.spec import DEFAULT_BASE_SEED
+
+    args = _build_sweep_parser().parse_args(argv)
+    store = _store_for(args)
+    try:
+        sweep = Sweep.over(
+            seeds=args.seeds,
+            base_seed=(DEFAULT_BASE_SEED if args.base_seed is None
+                       else args.base_seed),
+            artifacts=args.artifact,
+            workloads=args.workload,
+            num_jobs=args.num_jobs,
+            nodes=args.nodes,
+            policies=args.policies,
+            async_mode=args.async_mode,
+        )
+    except SweepError as exc:
+        print(f"invalid sweep: {exc}", file=sys.stderr)
+        return 2
+    if any(c.kind == "artifact" for c in sweep.cells):
+        registry = builtin_registry()
+        unknown = sorted(
+            {c.artifact for c in sweep.cells
+             if c.kind == "artifact" and c.artifact not in registry}
+        )
+        if unknown:
+            print(f"unknown artifact(s): {', '.join(unknown)}; try 'repro list'",
+                  file=sys.stderr)
+            return 2
+    try:
+        runner = SweepRunner(
+            jobs=args.jobs, store=store, observers=_sweep_progress(args.quiet)
+        )
+        result = runner.run(sweep)
+    except SimulationTimeout as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except SweepError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 1
+    aggregate = result.aggregate()
+    print(aggregate.as_table())
+    print(
+        f"{len(result)} cells over seeds {sweep.seeds[0]}..{sweep.seeds[-1]} "
+        f"({result.cached_cells} cached, {result.computed_cells} computed, "
+        f"jobs={result.jobs}, compute {result.compute_wall_time:.1f}s)"
+    )
+    events = result.total_events()
+    if events["raw_events"]:
+        print(
+            f"observed across the ensemble: {events['completions']} job "
+            f"completions, {events['resizes']} resizes"
+        )
+    _report_store(store)
+    if args.csv == "-":
+        print(aggregate.as_csv(), end="")
+    elif args.csv is not None:
+        os.makedirs(args.csv, exist_ok=True)
+        path = os.path.join(args.csv, "sweep.csv")
+        with open(path, "w") as fh:
+            fh.write(aggregate.as_csv())
+        print(f"[csv written to {path}]")
+    return 0
+
+
+def _build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Seed-ensemble bench of the headline artifacts "
+        "(fig1/fig3/table2); emits BENCH_sweep.json.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="small ensemble for CI smoke runs")
+    parser.add_argument("--seeds", type=int, default=None, metavar="K",
+                        help="ensemble width (default: 5, or 2 with --quick)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default 1)")
+    parser.add_argument("--base-seed", type=int, default=None, metavar="S")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="output path (default BENCH_sweep.json)")
+    parser.add_argument("--store", metavar="DIR", default=None)
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--quiet", action="store_true")
+    return parser
+
+
+def _bench_mode(argv: List[str]) -> int:
+    from repro.errors import SimulationTimeout, SweepError
+    from repro.sweep import run_bench, write_bench
+    from repro.sweep.bench import BENCH_PATH
+    from repro.sweep.spec import DEFAULT_BASE_SEED
+
+    args = _build_bench_parser().parse_args(argv)
+    store = _store_for(args)
+    try:
+        data = run_bench(
+            seeds=args.seeds,
+            jobs=args.jobs,
+            quick=args.quick,
+            base_seed=(DEFAULT_BASE_SEED if args.base_seed is None
+                       else args.base_seed),
+            store=store,
+            observers=_sweep_progress(args.quiet),
+        )
+    except (SimulationTimeout, SweepError) as exc:
+        print(f"bench failed: {exc}", file=sys.stderr)
+        return 1
+    path = write_bench(data, args.out if args.out else BENCH_PATH)
+    for name, entry in data["artifacts"].items():
+        print(
+            f"{name:<8} {entry['cells']} cells "
+            f"({entry['cached_cells']} cached) in {entry['ensemble_wall_s']:.1f}s"
+        )
+    print(f"total {data['total_wall_s']:.1f}s over seeds {data['seeds']}")
+    print(f"[bench written to {path}]")
+    _report_store(store)
+    return 0
+
+
+def _cache_mode(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description="Inspect or empty the on-disk result store.",
+    )
+    parser.add_argument("action", choices=("ls", "clear"))
+    parser.add_argument("--store", metavar="DIR", default=None)
+    args = parser.parse_args(argv)
+
+    from repro.store import default_store
+
+    store = default_store(args.store)
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} record(s) from {store.root}")
+        return 0
+    entries = store.entries()
+    print(f"store {store.root} (salt {store.salt}): {len(entries)} record(s)")
+    for entry in entries:
+        print(f"  {entry.describe()}")
+    return 0
+
+
 def main(argv: List[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0].lower() == "sweep":
+        return _sweep_mode(argv[1:])
+    if argv and argv[0].lower() == "bench":
+        return _bench_mode(argv[1:])
+    if argv and argv[0].lower() == "cache":
+        return _cache_mode(argv[1:])
     args = build_parser().parse_args(argv)
     if args.artifacts[0].lower() == "run":
         if len(args.artifacts) > 1:
@@ -179,6 +445,14 @@ def main(argv: List[str] | None = None) -> int:
         return 2
 
     registry = builtin_registry()
+    if args.no_cache:
+        registry.detach_store()
+    else:
+        # Rendered figures/tables are served from (and persisted to) the
+        # on-disk store, so a repeated `repro figN` skips the simulation.
+        from repro.store import default_store
+
+        registry.attach_store(default_store(args.store))
     wanted: List[str] = []
     for name in args.artifacts:
         key = name.lower()

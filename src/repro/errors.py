@@ -53,6 +53,12 @@ class SimulationTimeout(ReproError):
     Carries enough state to diagnose the stall: which jobs were still
     pending or running when the horizon was reached, and how many job
     specs were never even submitted.
+
+    Instances must survive a pickle round trip unchanged — sweep pool
+    workers raise them in a child process and ``concurrent.futures``
+    re-raises them in the parent; without :meth:`__reduce__` the default
+    exception reduction would call ``__init__`` with the formatted
+    message as the only argument and lose the job-id payload.
     """
 
     def __init__(
@@ -74,9 +80,29 @@ class SimulationTimeout(ReproError):
         self.pending_job_ids = tuple(pending_job_ids)
         self.running_job_ids = tuple(running_job_ids)
 
+    def __reduce__(self):
+        return (
+            type(self),
+            (
+                self.workload_name,
+                self.max_sim_time,
+                self.unsubmitted,
+                self.pending_job_ids,
+                self.running_job_ids,
+            ),
+        )
+
 
 class WorkloadError(ReproError):
     """Invalid workload-generation parameters."""
+
+
+class SweepError(ReproError):
+    """Invalid parameter-sweep definition or execution failure."""
+
+
+class StoreError(ReproError):
+    """The on-disk result store was misused or is unusable."""
 
 
 class CheckpointError(ReproError):

@@ -86,6 +86,82 @@ def summarize(jobs: Sequence[Job], trace: Trace, num_nodes: int) -> WorkloadSumm
     )
 
 
+#: Two-sided 95% Student-t critical values for df = 1..30; beyond that
+#: the normal approximation (1.96) is within half a percent.
+_T95 = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+)
+
+
+def t_critical_95(df: int) -> float:
+    """Two-sided 95% t critical value (normal approximation past df=30)."""
+    if df < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {df}")
+    return _T95[df - 1] if df <= len(_T95) else 1.96
+
+
+@dataclass(frozen=True)
+class MetricStats:
+    """Seed-ensemble statistics of one metric (the sweep currency).
+
+    ``ci95_half`` is the half-width of the Student-t 95% confidence
+    interval on the mean; a single observation has zero spread by
+    convention (stdev and CI are both 0), so deterministic metrics —
+    e.g. the analytic Fig. 1 costs — aggregate to a zero-width band
+    rather than NaN.
+    """
+
+    n: int
+    mean: float
+    median: float
+    stdev: float
+    ci95_half: float
+
+    @property
+    def ci_low(self) -> float:
+        return self.mean - self.ci95_half
+
+    @property
+    def ci_high(self) -> float:
+        return self.mean + self.ci95_half
+
+    def format_mean_ci(self) -> str:
+        """The headline rendering: ``mean ± half-width``."""
+        return f"{self.mean:.6g} ± {self.ci95_half:.3g}"
+
+    def as_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "median": self.median,
+            "stdev": self.stdev,
+            "ci95_half": self.ci95_half,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+        }
+
+
+def metric_stats(values: Sequence[float]) -> MetricStats:
+    """Mean/median/sample-stdev/95% CI of a seed ensemble."""
+    if not values:
+        raise ValueError("no values to aggregate")
+    arr = np.asarray(values, dtype=float)
+    n = len(arr)
+    mean = float(arr.mean())
+    median = float(np.median(arr))
+    if n == 1 or float(arr.min()) == float(arr.max()):
+        # A lone observation — or a degenerate (deterministic) ensemble,
+        # where accumulated float error must not masquerade as spread.
+        stdev = 0.0
+        ci = 0.0
+    else:
+        stdev = float(arr.std(ddof=1))
+        ci = t_critical_95(n - 1) * stdev / float(np.sqrt(n))
+    return MetricStats(n=n, mean=mean, median=median, stdev=stdev, ci95_half=ci)
+
+
 def gain_percent(fixed: float, flexible: float) -> float:
     """The paper's gain metric: how much the flexible rendition saves.
 

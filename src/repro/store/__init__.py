@@ -1,0 +1,25 @@
+"""``repro.store`` — the content-addressed on-disk result store.
+
+Sweep cells and rendered artifacts land here as small JSON records,
+keyed by a stable hash of the fully-resolved run spec plus a
+code-version salt, so repeated sweeps and repeated ``repro figN``
+invocations are served from disk instead of re-simulating.
+"""
+
+from repro.store.store import (
+    DEFAULT_STORE_DIR,
+    ResultStore,
+    StoreEntry,
+    code_version_salt,
+    default_store,
+    spec_key,
+)
+
+__all__ = [
+    "DEFAULT_STORE_DIR",
+    "ResultStore",
+    "StoreEntry",
+    "code_version_salt",
+    "default_store",
+    "spec_key",
+]

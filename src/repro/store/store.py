@@ -1,0 +1,202 @@
+"""Content-addressed JSON result store with atomic writes.
+
+One record per fully-resolved run spec.  The key is a SHA-256 over the
+canonical JSON form of the spec plus a *salt* derived from the package
+version, so results computed by one version of the simulation code are
+never served to another (bump ``repro.__version__`` — or set
+``REPRO_CACHE_SALT`` — to invalidate everything at once).
+
+Records are plain ``<key>.json`` files; writes go through a temporary
+file in the same directory followed by :func:`os.replace`, so a record
+is either fully present or absent — concurrent sweep processes and a
+mid-write crash can never leave a torn record behind.  Unreadable or
+corrupt records are treated as misses (and count as such in
+:attr:`ResultStore.misses`), never as errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.errors import StoreError
+
+#: Directory used when neither the caller nor the environment picks one.
+DEFAULT_STORE_DIR = ".repro-cache"
+
+#: Environment variable overriding the default store directory.
+STORE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable appended to the code-version salt (escape hatch
+#: for invalidating the cache without editing the package).
+STORE_SALT_ENV = "REPRO_CACHE_SALT"
+
+
+def code_version_salt() -> str:
+    """The salt mixed into every key: package version + env override."""
+    from repro import __version__
+
+    extra = os.environ.get(STORE_SALT_ENV, "")
+    return f"repro-{__version__}" + (f"+{extra}" if extra else "")
+
+
+def canonical_json(spec: Mapping[str, Any]) -> str:
+    """The canonical serialization the content address is computed over."""
+    try:
+        return json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise StoreError(f"spec is not JSON-serializable: {exc}") from exc
+
+
+def spec_key(spec: Mapping[str, Any], salt: Optional[str] = None) -> str:
+    """Stable content address of a fully-resolved run spec."""
+    salt = code_version_salt() if salt is None else salt
+    digest = hashlib.sha256()
+    digest.update(salt.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(canonical_json(spec).encode("utf-8"))
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One record as listed by ``repro cache ls``."""
+
+    key: str
+    spec: Dict[str, Any]
+    created: float
+    size_bytes: int
+
+    def describe(self) -> str:
+        """One human line: short key + the spec's non-null axis=value pairs."""
+        axes = ",".join(
+            f"{k}={v}" for k, v in sorted(self.spec.items()) if v is not None
+        )
+        return f"{self.key[:12]}  {self.size_bytes:>7} B  {axes}"
+
+
+class ResultStore:
+    """A directory of content-addressed JSON records.
+
+    ``get``/``put`` take the *spec* (a JSON-serializable mapping), not
+    the key — the store owns the addressing.  Hit/miss/put counters make
+    cache behaviour observable (`repro sweep` reports them, and the
+    acceptance bar of "second invocation ≥90% served from the store" is
+    checked against exactly these numbers).
+    """
+
+    def __init__(self, root: str | os.PathLike, salt: Optional[str] = None) -> None:
+        self.root = Path(root)
+        self.salt = code_version_salt() if salt is None else salt
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    # -- addressing ---------------------------------------------------------
+    def key_for(self, spec: Mapping[str, Any]) -> str:
+        return spec_key(spec, self.salt)
+
+    def path_for(self, spec: Mapping[str, Any]) -> Path:
+        return self.root / f"{self.key_for(spec)}.json"
+
+    # -- record IO ----------------------------------------------------------
+    def get(self, spec: Mapping[str, Any]) -> Optional[Any]:
+        """The stored payload for ``spec``, or None (a miss)."""
+        path = self.path_for(spec)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                record = json.load(fh)
+            payload = record["payload"]
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing, torn (should be impossible — writes are atomic),
+            # or hand-edited beyond recognition: a miss either way.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, spec: Mapping[str, Any], payload: Any) -> str:
+        """Atomically persist ``payload`` under the spec's address."""
+        key = self.key_for(spec)
+        record = {
+            "key": key,
+            "salt": self.salt,
+            "spec": dict(spec),
+            "created": time.time(),
+            "payload": payload,
+        }
+        try:
+            text = json.dumps(record, sort_keys=True)
+        except (TypeError, ValueError) as exc:
+            raise StoreError(f"payload is not JSON-serializable: {exc}") from exc
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            prefix=f".{key[:12]}-", suffix=".tmp", dir=self.root
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            os.replace(tmp, self.root / f"{key}.json")
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.puts += 1
+        return key
+
+    def contains(self, spec: Mapping[str, Any]) -> bool:
+        return self.path_for(spec).exists()
+
+    # -- maintenance --------------------------------------------------------
+    def entries(self) -> List[StoreEntry]:
+        """Every readable record, newest first (for ``repro cache ls``)."""
+        found: List[StoreEntry] = []
+        if not self.root.is_dir():
+            return found
+        for path in self.root.glob("*.json"):
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+                found.append(
+                    StoreEntry(
+                        key=str(record["key"]),
+                        spec=dict(record["spec"]),
+                        created=float(record["created"]),
+                        size_bytes=path.stat().st_size,
+                    )
+                )
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+        found.sort(key=lambda e: (-e.created, e.key))
+        return found
+
+    def clear(self) -> int:
+        """Remove every record; returns how many were deleted."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "puts": self.puts}
+
+
+def default_store(root: Optional[str] = None) -> ResultStore:
+    """The store the CLI uses: ``--store DIR``, else ``$REPRO_CACHE_DIR``,
+    else ``./.repro-cache`` (gitignored)."""
+    if root is None:
+        root = os.environ.get(STORE_DIR_ENV) or DEFAULT_STORE_DIR
+    return ResultStore(root)

@@ -1,0 +1,35 @@
+"""``repro.sweep`` — the parallel parameter-sweep engine.
+
+Declares grids (:class:`Sweep` / :class:`RunSpec`), executes the cells
+on a process pool (:class:`SweepRunner`), aggregates seed ensembles
+into mean/median/stdev/95%-CI statistics (:class:`SweepResult` /
+:class:`Aggregate`), and powers the ``repro sweep`` and ``repro bench``
+CLI verbs.
+"""
+
+from repro.sweep.aggregate import Aggregate, AggregateRow, SweepResult
+from repro.sweep.bench import run_bench, write_bench
+from repro.sweep.runner import (
+    CellOutcome,
+    SweepObserver,
+    SweepRunner,
+    execute_cell,
+    metrics_from_csv,
+)
+from repro.sweep.spec import POLICY_PRESETS, RunSpec, Sweep
+
+__all__ = [
+    "Aggregate",
+    "AggregateRow",
+    "CellOutcome",
+    "POLICY_PRESETS",
+    "RunSpec",
+    "Sweep",
+    "SweepObserver",
+    "SweepResult",
+    "SweepRunner",
+    "execute_cell",
+    "metrics_from_csv",
+    "run_bench",
+    "write_bench",
+]

@@ -1,0 +1,85 @@
+"""``repro bench`` — the canonical seed-ensemble benchmark.
+
+Runs a multi-seed ensemble of the paper's headline artifacts (Fig. 1,
+Fig. 3, Table II) through the sweep engine and emits
+``BENCH_sweep.json``: per-artifact wall-clock statistics (how fast the
+reproduction runs) plus per-metric simulated-result statistics with
+95% confidence bands (how stable the reproduction's claims are across
+seeds).  ``--quick`` shrinks the ensemble for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Optional, Sequence
+
+from repro.metrics.summary import metric_stats
+from repro.sweep.runner import SweepObserver, SweepRunner
+from repro.sweep.spec import DEFAULT_BASE_SEED, Sweep
+
+#: The headline artifacts the bench ensembles (all CSV-capable).
+BENCH_ARTIFACTS = ("fig1", "fig3", "table2")
+
+#: Default output file (the repo's bench trajectory is BENCH_*.json).
+BENCH_PATH = "BENCH_sweep.json"
+
+#: Ensemble widths: full runs 5 seeds, quick (CI smoke) runs 2.
+BENCH_SEEDS = 5
+QUICK_SEEDS = 2
+
+
+def run_bench(
+    seeds: Optional[int] = None,
+    jobs: int = 1,
+    quick: bool = False,
+    base_seed: int = DEFAULT_BASE_SEED,
+    artifacts: Sequence[str] = BENCH_ARTIFACTS,
+    store=None,
+    observers: Sequence[SweepObserver] = (),
+) -> Dict[str, object]:
+    """Run the bench ensembles; returns the ``BENCH_sweep.json`` payload."""
+    if seeds is None:
+        seeds = QUICK_SEEDS if quick else BENCH_SEEDS
+    runner = SweepRunner(jobs=jobs, store=store, observers=observers)
+    per_artifact: Dict[str, object] = {}
+    t_total = time.perf_counter()
+    for name in artifacts:
+        sweep = Sweep.over(seeds=seeds, base_seed=base_seed, artifacts=[name])
+        t0 = time.perf_counter()
+        result = runner.run(sweep)
+        ensemble_wall = time.perf_counter() - t0
+        per_artifact[name] = {
+            "cells": len(result),
+            "cached_cells": result.cached_cells,
+            "ensemble_wall_s": ensemble_wall,
+            "cell_wall": metric_stats(
+                [c.wall_time for c in result.cells]
+            ).as_dict(),
+            "events": result.total_events(),
+            "metrics": result.aggregate().as_dict(),
+        }
+    return {
+        "bench": "sweep",
+        "version": _version(),
+        "quick": quick,
+        "seeds": list(range(base_seed, base_seed + seeds)),
+        "jobs": jobs,
+        "generated_unix": time.time(),
+        "artifacts": per_artifact,
+        "total_wall_s": time.perf_counter() - t_total,
+    }
+
+
+def write_bench(data: Dict[str, object], path: str = BENCH_PATH) -> str:
+    """Serialize a bench payload to disk; returns the path written."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def _version() -> str:
+    from repro import __version__
+
+    return __version__

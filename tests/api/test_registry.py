@@ -114,6 +114,81 @@ class TestResultCache:
         assert len(calls) == 2
 
 
+class TestStoreDelegation:
+    """The rendered-artifact cache delegates to the on-disk store."""
+
+    def _registry(self):
+        reg = ArtifactRegistry()
+        calls = []
+
+        @reg.artifact("demo", csv=True)
+        def produce(seed=None):
+            calls.append(seed)
+            return FakeResult(seed)
+
+        reg.calls = calls
+        return reg
+
+    def test_second_process_equivalent_render_skips_the_producer(self, tmp_path):
+        from repro.store import ResultStore
+
+        store = ResultStore(tmp_path)
+        first = self._registry()
+        first.attach_store(store)
+        assert first.render("demo", seed=4) == "table:4"
+
+        # A fresh registry models a fresh process: empty in-memory cache.
+        second = self._registry()
+        second.attach_store(store)
+        assert second.render("demo", seed=4) == "table:4"
+        assert second.calls == []  # served from disk, no simulation
+
+    def test_text_and_csv_are_distinct_records(self, tmp_path):
+        from repro.store import ResultStore
+
+        store = ResultStore(tmp_path)
+        reg = self._registry()
+        reg.attach_store(store)
+        reg.render("demo", seed=1)
+        reg.render_csv("demo", seed=1)
+        assert len(store.entries()) == 2
+
+    def test_default_seed_and_explicit_default_share_a_record(self, tmp_path):
+        from repro.store import ResultStore
+
+        store = ResultStore(tmp_path)
+        reg = self._registry()
+        reg.attach_store(store)
+        reg.render("demo")
+        fresh = self._registry()
+        fresh.attach_store(store)
+        assert fresh.render("demo", seed=2017) == "table:None"
+        assert fresh.calls == []
+
+    def test_detach_store_restores_direct_rendering(self, tmp_path):
+        from repro.store import ResultStore
+
+        reg = self._registry()
+        reg.attach_store(ResultStore(tmp_path))
+        reg.detach_store()
+        reg.render("demo", seed=1)
+        assert reg.calls == [1]
+
+
+class TestWorkerCacheIsolation:
+    def test_fresh_registry_has_an_empty_result_cache(self):
+        """Sweep workers rely on this: a new process builds a new
+        registry whose in-memory cache cannot leak across cells."""
+        reg = ArtifactRegistry()
+        calls = []
+        reg.artifact("w")(lambda seed=None: calls.append(seed) or FakeResult(seed))
+        reg.result_for("w", seed=1)
+        assert calls == [1]
+        reg.clear_cache()
+        reg.result_for("w", seed=1)
+        assert calls == [1, 1]
+
+
 class TestDefaultSeed:
     def test_default_is_the_papers_year(self):
         assert default_seed(None) == 2017

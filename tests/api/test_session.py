@@ -127,3 +127,40 @@ class TestSimulationTimeout:
         session = Session(cluster=marenostrum_preliminary()).with_max_sim_time(1.0)
         with pytest.raises(SimulationTimeout):
             session.run(fs_workload(5, seed=1, config=SMALL_FS))
+
+
+class TestSessionSpec:
+    def test_spec_round_trip_rebuilds_equivalent_session(self):
+        import pickle
+
+        from repro.api import SessionSpec
+        from repro.runtime.nanos import RuntimeConfig
+
+        session = (
+            Session(cluster=marenostrum_preliminary())
+            .with_runtime(RuntimeConfig(async_mode=True))
+            .with_seed(9)
+            .with_max_sim_time(123.0)
+        )
+        spec = session.spec()
+        clone = Session.from_spec(pickle.loads(pickle.dumps(spec)))
+        assert clone.cluster == session.cluster
+        assert clone.runtime == session.runtime
+        assert clone.seed == 9
+        assert clone.max_sim_time == 123.0
+        assert isinstance(spec, SessionSpec)
+
+    def test_spec_drops_observers(self):
+        from repro.api import TimelineObserver
+
+        session = Session().observe(TimelineObserver())
+        rebuilt = session.spec().build()
+        assert rebuilt.observers == ()
+
+    def test_spec_runs_reproduce_the_original(self):
+        session = Session(cluster=marenostrum_preliminary()).with_seed(3)
+        spec = fs_workload(4, seed=3, config=SMALL_FS)
+        original = session.run(spec)
+        replayed = Session.from_spec(session.spec()).run(spec)
+        assert replayed.makespan == original.makespan
+        assert replayed.summary.as_dict() == original.summary.as_dict()

@@ -1,0 +1,14 @@
+"""Shared test fixtures.
+
+Every test gets a private result-store directory: the CLI (and anything
+calling :func:`repro.store.default_store`) honours ``REPRO_CACHE_DIR``,
+and without this isolation a CLI test would populate ``.repro-cache``
+in the repo checkout and leak cached renders between tests.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_store(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-store"))

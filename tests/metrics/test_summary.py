@@ -84,3 +84,58 @@ def test_as_dict_roundtrip():
     d = s.as_dict()
     assert d["num_jobs"] == 1
     assert set(d) >= {"makespan", "utilization_rate", "avg_wait_time"}
+
+
+def test_metric_stats_known_values():
+    from repro.metrics.summary import metric_stats
+
+    stats = metric_stats([10.0, 12.0, 14.0])
+    assert stats.n == 3
+    assert stats.mean == 12.0
+    assert stats.median == 12.0
+    assert abs(stats.stdev - 2.0) < 1e-12
+    # t(df=2, 95%) = 4.303
+    assert abs(stats.ci95_half - 4.303 * 2.0 / 3.0**0.5) < 1e-9
+    assert stats.ci_low < stats.mean < stats.ci_high
+    assert set(stats.as_dict()) == {
+        "n", "mean", "median", "stdev", "ci95_half", "ci_low", "ci_high"
+    }
+
+
+def test_metric_stats_single_observation_has_zero_band():
+    from repro.metrics.summary import metric_stats
+
+    stats = metric_stats([5.0])
+    assert (stats.stdev, stats.ci95_half) == (0.0, 0.0)
+    assert stats.format_mean_ci() == "5 ± 0"
+
+
+def test_metric_stats_degenerate_ensemble_has_zero_band():
+    # Identical values must not report float-noise spread (Fig. 1 is
+    # analytic: every seed produces the same numbers).
+    from repro.metrics.summary import metric_stats
+
+    stats = metric_stats([62.95] * 5)
+    assert stats.stdev == 0.0
+    assert stats.ci95_half == 0.0
+
+
+def test_metric_stats_rejects_empty():
+    import pytest
+
+    from repro.metrics.summary import metric_stats
+
+    with pytest.raises(ValueError, match="no values"):
+        metric_stats([])
+
+
+def test_t_critical_95_bounds():
+    import pytest
+
+    from repro.metrics.summary import t_critical_95
+
+    assert t_critical_95(1) == 12.706
+    assert t_critical_95(30) == 2.042
+    assert t_critical_95(1000) == 1.96
+    with pytest.raises(ValueError):
+        t_critical_95(0)

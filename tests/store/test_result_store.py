@@ -1,0 +1,128 @@
+"""Tests for the content-addressed on-disk result store."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store import ResultStore, code_version_salt, default_store, spec_key
+
+
+SPEC = {"kind": "artifact", "artifact": "fig3", "seed": 2017}
+
+
+class TestAddressing:
+    def test_key_is_stable_across_dict_order(self):
+        a = {"x": 1, "y": 2}
+        b = {"y": 2, "x": 1}
+        assert spec_key(a, salt="s") == spec_key(b, salt="s")
+
+    def test_key_changes_with_spec(self):
+        assert spec_key({"seed": 1}, salt="s") != spec_key({"seed": 2}, salt="s")
+
+    def test_key_changes_with_salt(self):
+        assert spec_key(SPEC, salt="v1") != spec_key(SPEC, salt="v2")
+
+    def test_default_salt_carries_code_version(self):
+        from repro import __version__
+
+        assert __version__ in code_version_salt()
+
+    def test_env_salt_extends_the_version(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_SALT", "experiment-7")
+        assert "experiment-7" in code_version_salt()
+
+    def test_unserializable_spec_raises(self):
+        with pytest.raises(StoreError, match="not JSON-serializable"):
+            spec_key({"bad": object()}, salt="s")
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        store = ResultStore(tmp_path)
+        payload = {"metrics": {"makespan_s": 12.5}, "wall_time": 0.1}
+        key = store.put(SPEC, payload)
+        assert store.get(SPEC) == payload
+        assert (tmp_path / f"{key}.json").exists()
+        assert store.stats() == {"hits": 1, "misses": 0, "puts": 1}
+
+    def test_missing_record_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(SPEC) is None
+        assert store.stats()["misses"] == 1
+
+    def test_different_salts_do_not_share_records(self, tmp_path):
+        old = ResultStore(tmp_path, salt="v1")
+        new = ResultStore(tmp_path, salt="v2")
+        old.put(SPEC, "payload")
+        assert new.get(SPEC) is None
+
+    def test_corrupt_record_is_a_miss_not_an_error(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(SPEC, "payload")
+        store.path_for(SPEC).write_text("{ torn json", encoding="utf-8")
+        assert store.get(SPEC) is None
+
+    def test_unserializable_payload_raises_and_writes_nothing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(StoreError, match="not JSON-serializable"):
+            store.put(SPEC, object())
+        assert not store.contains(SPEC)
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for seed in range(5):
+            store.put({"seed": seed}, {"value": seed})
+        leftovers = [p for p in os.listdir(tmp_path) if not p.endswith(".json")]
+        assert leftovers == []
+
+    def test_put_is_idempotent(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.put(SPEC, "a") == store.put(SPEC, "b")
+        assert store.get(SPEC) == "b"  # last write wins
+
+
+class TestMaintenance:
+    def test_entries_lists_spec_and_size(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(SPEC, {"metrics": {}})
+        (entry,) = store.entries()
+        assert entry.spec == SPEC
+        assert entry.size_bytes > 0
+        assert entry.key == store.key_for(SPEC)
+        assert "artifact=fig3" in entry.describe()
+
+    def test_entries_skips_unreadable_records(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(SPEC, "ok")
+        (tmp_path / "junk.json").write_text("not json")
+        assert len(store.entries()) == 1
+
+    def test_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(SPEC, "x")
+        store.put({"seed": 9}, "y")
+        assert store.clear() == 2
+        assert store.entries() == []
+        assert store.clear() == 0  # idempotent, even with no directory
+
+    def test_empty_store_lists_nothing(self, tmp_path):
+        assert ResultStore(tmp_path / "never-created").entries() == []
+
+
+class TestDefaultStore:
+    def test_honours_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-store"))
+        assert default_store().root == tmp_path / "env-store"
+
+    def test_explicit_root_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-store"))
+        assert default_store(str(tmp_path / "mine")).root == tmp_path / "mine"
+
+    def test_no_directory_created_until_first_put(self, tmp_path):
+        store = ResultStore(tmp_path / "lazy")
+        store.get(SPEC)
+        assert not (tmp_path / "lazy").exists()
+        store.put(SPEC, "x")
+        assert (tmp_path / "lazy").is_dir()

@@ -1,0 +1,35 @@
+"""Determinism under parallelism: the ISSUE-mandated contract.
+
+A sweep over N seeds must produce byte-identical aggregated CSV output
+whether it ran serially (``--jobs 1``) or on a worker pool (``--jobs
+4``), with or without the store in between — cell identity, seeding,
+result ordering and float formatting are all scheduling-independent.
+"""
+
+from repro.store import ResultStore
+from repro.sweep import Sweep, SweepRunner
+
+GRID = Sweep.over(seeds=3, workloads=["fs"], num_jobs=[4, 8], nodes=[8])
+
+
+def _csv(jobs, store=None):
+    return SweepRunner(jobs=jobs, store=store).run(GRID).aggregate().as_csv()
+
+
+def test_serial_and_pool_aggregates_are_byte_identical():
+    assert _csv(jobs=1) == _csv(jobs=4)
+
+
+def test_store_round_trip_preserves_bytes(tmp_path):
+    """Computing, persisting, and re-serving must not perturb a single
+    bit: JSON round-trips every float exactly."""
+    store = ResultStore(tmp_path)
+    computed = _csv(jobs=4, store=store)
+    served = _csv(jobs=1, store=store)
+    assert computed == served
+
+
+def test_explicit_seed_list_equals_range_expansion():
+    a = Sweep.over(seeds=3, base_seed=2017, workloads=["fs"], num_jobs=[4])
+    b = Sweep.over(seeds=[2017, 2018, 2019], workloads=["fs"], num_jobs=[4])
+    assert a == b

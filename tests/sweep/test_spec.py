@@ -1,0 +1,126 @@
+"""Tests for sweep grids: RunSpec identity and Sweep expansion."""
+
+import pickle
+
+import pytest
+
+from repro.errors import SweepError
+from repro.sweep import POLICY_PRESETS, RunSpec, Sweep
+
+
+class TestRunSpec:
+    def test_artifact_cell(self):
+        spec = RunSpec(kind="artifact", artifact="fig3", seed=7)
+        assert spec.group_label() == "artifact=fig3"
+        assert spec.as_dict()["seed"] == 7
+        assert spec.describe().endswith("seed=7")
+
+    def test_workload_cell_axes(self):
+        spec = RunSpec(kind="workload", workload="fs", num_jobs=25,
+                       nodes=20, policy="deepest", seed=3)
+        assert spec.group_label() == (
+            "workload=fs;num_jobs=25;nodes=20;policy=deepest"
+        )
+
+    def test_async_mode_only_labels_when_set(self):
+        quiet = RunSpec(kind="workload", workload="fs", num_jobs=5, seed=1)
+        loud = RunSpec(kind="workload", workload="fs", num_jobs=5, seed=1,
+                       async_mode=True)
+        assert "async_mode" not in quiet.group_label()
+        assert "async_mode=True" in loud.group_label()
+
+    def test_as_dict_is_json_stable(self):
+        spec = RunSpec(kind="artifact", artifact="fig1", seed=1)
+        assert spec.as_dict() == {
+            "kind": "artifact", "seed": 1, "artifact": "fig1",
+            "workload": None, "num_jobs": None, "nodes": None,
+            "policy": None, "async_mode": False, "max_sim_time": None,
+        }
+
+    def test_pickle_round_trip(self):
+        spec = RunSpec(kind="workload", workload="realapps", num_jobs=50,
+                       seed=2018, policy="default")
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    @pytest.mark.parametrize("kwargs,msg", [
+        (dict(kind="artifact", seed=1), "need an artifact name"),
+        (dict(kind="artifact", artifact="fig3", num_jobs=5, seed=1),
+         "no 'num_jobs' axis"),
+        (dict(kind="workload", workload="nope", num_jobs=5, seed=1),
+         "unknown workload family"),
+        (dict(kind="workload", workload="fs", seed=1), "num_jobs >= 1"),
+        (dict(kind="workload", workload="fs", num_jobs=5, nodes=0, seed=1),
+         "nodes must be >= 1"),
+        (dict(kind="workload", workload="fs", num_jobs=5, policy="nope",
+              seed=1), "unknown policy preset"),
+        (dict(kind="other", seed=1), "unknown cell kind"),
+    ])
+    def test_validation(self, kwargs, msg):
+        with pytest.raises(SweepError, match=msg):
+            RunSpec(**kwargs)
+
+    def test_policy_none_canonicalizes_to_default(self):
+        """policy=None and policy='default' execute identically, so they
+        must be one cell identity (equality, store key, group label)."""
+        implicit = RunSpec(kind="workload", workload="fs", num_jobs=5, seed=1)
+        explicit = RunSpec(kind="workload", workload="fs", num_jobs=5, seed=1,
+                           policy="default")
+        assert implicit == explicit
+        assert implicit.as_dict() == explicit.as_dict()
+        assert implicit.group_label().endswith(";policy=default")
+
+    def test_policy_presets_are_distinct(self):
+        assert set(POLICY_PRESETS) == {"default", "deepest", "literal"}
+        assert len({repr(cfg) for cfg in POLICY_PRESETS.values()}) == 3
+
+
+class TestSweepExpansion:
+    def test_seed_count_expands_from_base(self):
+        sweep = Sweep.over(seeds=3, base_seed=100, artifacts=["fig1"])
+        assert [c.seed for c in sweep.cells] == [100, 101, 102]
+        assert sweep.seeds == (100, 101, 102)
+
+    def test_explicit_seed_list(self):
+        sweep = Sweep.over(seeds=[5, 9, 2], artifacts=["fig1"])
+        assert [c.seed for c in sweep.cells] == [5, 9, 2]
+
+    def test_duplicate_seeds_rejected(self):
+        with pytest.raises(SweepError, match="duplicate seeds"):
+            Sweep.over(seeds=[1, 1], artifacts=["fig1"])
+
+    def test_artifact_grid_is_product(self):
+        sweep = Sweep.over(seeds=2, artifacts=["fig1", "fig3"])
+        assert len(sweep) == 4
+        assert [c.artifact for c in sweep.cells] == ["fig1", "fig1",
+                                                     "fig3", "fig3"]
+
+    def test_workload_grid_is_product_seeds_innermost(self):
+        sweep = Sweep.over(
+            seeds=2, workloads=["fs"], num_jobs=[10, 25],
+            policies=["default", "deepest"],
+        )
+        assert len(sweep) == 8
+        first = sweep.cells[0]
+        assert (first.num_jobs, first.policy, first.seed) == (10, "default", 2017)
+        # Seeds vary fastest: the grid is independent of executor order.
+        assert [c.seed for c in sweep.cells[:2]] == [2017, 2018]
+
+    def test_grid_expansion_is_deterministic(self):
+        make = lambda: Sweep.over(
+            seeds=3, workloads=["fs", "realapps"], num_jobs=[10, 50],
+            nodes=[20, 65],
+        )
+        assert make() == make()
+
+    @pytest.mark.parametrize("kwargs,msg", [
+        (dict(seeds=2), "artifacts or workloads axis"),
+        (dict(seeds=2, artifacts=["fig1"], workloads=["fs"], num_jobs=[5]),
+         "not both"),
+        (dict(seeds=2, artifacts=["fig1"], num_jobs=[5]), "no 'num_jobs'"),
+        (dict(seeds=2, workloads=["fs"]), "need a num_jobs axis"),
+        (dict(seeds=0, artifacts=["fig1"]), "at least one seed"),
+        (dict(seeds=[], artifacts=["fig1"]), "at least one seed"),
+    ])
+    def test_invalid_grids(self, kwargs, msg):
+        with pytest.raises(SweepError, match=msg):
+            Sweep.over(**kwargs)

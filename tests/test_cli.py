@@ -203,3 +203,157 @@ def test_run_unreadable_workload(tmp_path, capsys):
 def test_workload_flag_requires_run_mode(swf_file, capsys):
     assert main(["fig1", "--workload", str(swf_file)]) == 2
     assert "requires the 'run' mode" in capsys.readouterr().err
+
+
+# -- sweep / bench / cache modes ---------------------------------------------
+
+class TestSweepMode:
+    def test_artifact_ensemble_reports_mean_ci(self, capsys):
+        assert main(["sweep", "--artifact", "fig1", "--seeds", "2",
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "mean ± 95% CI" in out
+        assert "artifact=fig1" in out
+        assert "2 cells over seeds 2017..2018" in out
+
+    def test_second_invocation_is_served_from_the_store(self, capsys):
+        args = ["sweep", "--artifact", "fig1", "--seeds", "3", "--quiet"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "3 cached, 0 computed" in out
+        assert "served 3/3 lookups from cache" in out
+
+    def test_csv_to_stdout(self, capsys):
+        assert main(["sweep", "--artifact", "fig1", "--seeds", "2",
+                     "--quiet", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert "group,metric,n,mean,ci95_half" in out
+
+    def test_csv_to_directory(self, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        assert main(["sweep", "--artifact", "fig1", "--seeds", "2",
+                     "--quiet", "--csv", str(out_dir)]) == 0
+        text = (out_dir / "sweep.csv").read_text()
+        assert text.startswith("group,metric,")
+
+    def test_workload_grid(self, capsys):
+        assert main(["sweep", "--workload", "fs", "--num-jobs", "4",
+                     "--nodes", "8", "--seeds", "2", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "workload=fs;num_jobs=4;nodes=8" in out
+        assert "flexible_makespan_s" in out
+
+    def test_progress_streams_to_stderr(self, capsys):
+        assert main(["sweep", "--artifact", "fig1", "--seeds", "2"]) == 0
+        err = capsys.readouterr().err
+        assert "run    artifact=fig1;seed=2017" in err
+        assert "done   artifact=fig1;seed=2018" in err
+
+    def test_unknown_artifact_rejected(self, capsys):
+        assert main(["sweep", "--artifact", "nope", "--seeds", "2"]) == 2
+        assert "unknown artifact" in capsys.readouterr().err
+
+    def test_invalid_grid_rejected(self, capsys):
+        assert main(["sweep", "--seeds", "2"]) == 2
+        assert "invalid sweep" in capsys.readouterr().err
+
+    def test_artifact_without_metrics_fails_cleanly(self, capsys):
+        assert main(["sweep", "--artifact", "fig4", "--seeds", "1",
+                     "--quiet"]) == 1
+        assert "no CSV metric form" in capsys.readouterr().err
+
+    def test_invalid_jobs_fails_cleanly(self, capsys):
+        assert main(["sweep", "--artifact", "fig1", "--seeds", "1",
+                     "--jobs", "0", "--quiet"]) == 1
+        assert "jobs must be >= 1" in capsys.readouterr().err
+
+    def test_workload_sweep_reports_ensemble_events(self, capsys):
+        assert main(["sweep", "--workload", "fs", "--num-jobs", "4",
+                     "--nodes", "8", "--seeds", "2", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        # 2 cells x 2 renditions x 4 jobs, fanned in from the workers.
+        assert "observed across the ensemble: 16 job completions" in out
+
+    def test_aggregate_csv_stays_single_delimiter(self, capsys):
+        """Fig. 1 metric keys span two axis columns; the CSV must keep
+        one comma-separated field count on every row."""
+        assert main(["sweep", "--artifact", "fig1", "--seeds", "2",
+                     "--quiet", "--csv"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        header = lines.index("group,metric,n,mean,ci95_half,ci_low,ci_high,median,stdev")
+        csv_lines = [ln for ln in lines[header:] if ln]
+        assert len(csv_lines) > 1
+        assert all(len(ln.split(",")) == 9 for ln in csv_lines)
+        assert any("[initial_procs=48;target_procs=12]" in ln for ln in csv_lines)
+
+
+class TestBenchMode:
+    def test_quick_bench_writes_well_formed_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_sweep.json"
+        assert main(["bench", "--quick", "--quiet", "--out", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert data["bench"] == "sweep"
+        assert set(data["artifacts"]) == {"fig1", "fig3", "table2"}
+        for entry in data["artifacts"].values():
+            assert entry["cells"] == 2
+            assert entry["metrics"]
+        assert "[bench written to" in capsys.readouterr().out
+
+
+class TestCacheMode:
+    def test_ls_empty(self, capsys):
+        assert main(["cache", "ls"]) == 0
+        assert "0 record(s)" in capsys.readouterr().out
+
+    def test_ls_after_sweep_shows_records(self, capsys):
+        assert main(["sweep", "--artifact", "fig1", "--seeds", "2",
+                     "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls"]) == 0
+        out = capsys.readouterr().out
+        assert "2 record(s)" in out
+        assert "artifact=fig1" in out
+
+    def test_clear(self, capsys):
+        assert main(["sweep", "--artifact", "fig1", "--seeds", "2",
+                     "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear"]) == 0
+        assert "removed 2 record(s)" in capsys.readouterr().out
+        assert main(["cache", "ls"]) == 0
+        assert "0 record(s)" in capsys.readouterr().out
+
+
+class TestArtifactStoreCache:
+    def test_repeat_fig1_skips_the_producer(self, capsys, monkeypatch):
+        """Repeated `repro figN` invocations are served from disk."""
+        import repro.experiments.fig01_cr_vs_dmr as fig01
+
+        assert main(["fig1"]) == 0
+        first = capsys.readouterr().out
+
+        def boom(*a, **kw):
+            raise AssertionError("producer re-ran despite the store")
+
+        monkeypatch.setattr(fig01, "run_fig01", boom)
+        builtin_registry().clear_cache()  # drop the in-memory result too
+        assert main(["fig1"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_no_cache_flag_bypasses_the_store(self, capsys, monkeypatch):
+        import repro.experiments.fig01_cr_vs_dmr as fig01
+
+        assert main(["fig1"]) == 0
+        capsys.readouterr()
+        calls = []
+        real = fig01.run_fig01
+        monkeypatch.setattr(
+            fig01, "run_fig01", lambda *a, **kw: calls.append(1) or real()
+        )
+        builtin_registry().clear_cache()
+        assert main(["fig1", "--no-cache"]) == 0
+        assert calls == [1]

@@ -1,0 +1,47 @@
+"""Errors must round-trip through pickle: pool workers raise them in a
+child process and ``concurrent.futures`` re-raises them in the parent."""
+
+import pickle
+
+import pytest
+
+import repro.errors as errors
+from repro.errors import ReproError, SimulationTimeout
+
+
+def test_simulation_timeout_round_trips_with_payload():
+    exc = SimulationTimeout(
+        workload_name="fs-25jobs-seed7",
+        max_sim_time=1000.0,
+        unsubmitted=3,
+        pending_job_ids=(4, 5),
+        running_job_ids=(1,),
+    )
+    clone = pickle.loads(pickle.dumps(exc))
+    assert isinstance(clone, SimulationTimeout)
+    assert clone.workload_name == "fs-25jobs-seed7"
+    assert clone.max_sim_time == 1000.0
+    assert clone.unsubmitted == 3
+    assert clone.pending_job_ids == (4, 5)
+    assert clone.running_job_ids == (1,)
+    assert str(clone) == str(exc)
+
+
+def test_simulation_timeout_message_survives_reduce():
+    exc = SimulationTimeout("w", 1.0, 0, (), (9,))
+    clone = pickle.loads(pickle.dumps(exc))
+    assert "did not finish" in str(clone)
+    assert clone.running_job_ids == (9,)
+
+
+@pytest.mark.parametrize(
+    "exc_type",
+    [t for t in vars(errors).values()
+     if isinstance(t, type) and issubclass(t, ReproError)
+     and t is not SimulationTimeout],
+)
+def test_every_simple_repro_error_round_trips(exc_type):
+    exc = exc_type("some message")
+    clone = pickle.loads(pickle.dumps(exc))
+    assert isinstance(clone, exc_type)
+    assert str(clone) == "some message"
