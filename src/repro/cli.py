@@ -14,6 +14,7 @@ Usage::
     python -m repro sweep --workload fs --num-jobs 25,50 --policies default,deepest
                                         # grid sweep over workload axes
     python -m repro bench --quick       # emit BENCH_sweep.json
+    python -m repro bench sched         # scheduler-scale bench -> BENCH_sched.json
     python -m repro cache ls            # inspect the on-disk result store
 
 Artifacts are served from the declarative :mod:`repro.api` registry —
@@ -369,12 +370,83 @@ def _build_bench_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_bench_sched_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench sched",
+        description="Scheduler-scale bench: replay large synthetic "
+        "Feitelson/SWF traces through both scheduler modes; emits "
+        "BENCH_sched.json with pass counts, wall-clock and the "
+        "incremental-vs-legacy comparison-work ratio.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="single small trace for CI smoke runs")
+    parser.add_argument("--sizes", type=_int_list, default=None,
+                        metavar="N1,N2,...",
+                        help="trace sizes in jobs (default 5000,20000,50000; "
+                        "--quick: 2000)")
+    parser.add_argument("--seed", type=int, default=None, metavar="S",
+                        help="trace seed (default 2017)")
+    parser.add_argument("--no-legacy", action="store_true",
+                        help="skip the legacy-scheduler replays")
+    parser.add_argument("--legacy-cap", type=int, default=None, metavar="N",
+                        help="largest trace replayed with the legacy "
+                        "scheduler (default 20000)")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="output path (default BENCH_sched.json)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress lines on stderr")
+    return parser
+
+
+def _bench_sched_mode(argv: List[str]) -> int:
+    from repro.sweep.bench import (
+        SCHED_BENCH_PATH,
+        SCHED_LEGACY_CAP,
+        run_sched_bench,
+        write_bench,
+    )
+    from repro.sweep.spec import DEFAULT_BASE_SEED
+
+    args = _build_bench_sched_parser().parse_args(argv)
+    progress = None if args.quiet else (
+        lambda message: print(f"[bench sched] {message}", file=sys.stderr)
+    )
+    data = run_sched_bench(
+        sizes=args.sizes,
+        quick=args.quick,
+        seed=DEFAULT_BASE_SEED if args.seed is None else args.seed,
+        legacy=not args.no_legacy,
+        legacy_cap=(SCHED_LEGACY_CAP if args.legacy_cap is None
+                    else args.legacy_cap),
+        progress=progress,
+    )
+    path = write_bench(data, args.out if args.out else SCHED_BENCH_PATH)
+    for size, entry in data["traces"].items():
+        inc = entry["incremental"]
+        line = (
+            f"{size:>6} jobs  incremental: {inc['wall_s']:.1f}s wall, "
+            f"{inc['comparisons']} comparisons, {inc['passes']} passes"
+        )
+        if "speedup" in entry:
+            ratios = entry["speedup"]
+            line += (
+                f"  | legacy {entry['legacy']['wall_s']:.1f}s "
+                f"({ratios['comparisons_ratio']:.0f}x comparisons, "
+                f"{ratios['wall_ratio']:.1f}x wall)"
+            )
+        print(line)
+    print(f"total {data['total_wall_s']:.1f}s; [bench written to {path}]")
+    return 0
+
+
 def _bench_mode(argv: List[str]) -> int:
     from repro.errors import SimulationTimeout, SweepError
     from repro.sweep import run_bench, write_bench
     from repro.sweep.bench import BENCH_PATH
     from repro.sweep.spec import DEFAULT_BASE_SEED
 
+    if argv and argv[0].lower() == "sched":
+        return _bench_sched_mode(argv[1:])
     args = _build_bench_parser().parse_args(argv)
     store = _store_for(args)
     try:

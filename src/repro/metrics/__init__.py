@@ -14,7 +14,15 @@ from repro.metrics.timeline import (
     running_jobs_series,
     step_series,
 )
-from repro.metrics.trace import EventKind, Trace, TraceEvent
+from repro.metrics.trace import (
+    EventKind,
+    Trace,
+    TraceEvent,
+    canonical_line,
+    canonical_lines,
+    text_digest,
+    trace_digest,
+)
 
 __all__ = [
     "EventKind",
@@ -23,6 +31,8 @@ __all__ = [
     "TraceEvent",
     "WorkloadSummary",
     "allocated_nodes_series",
+    "canonical_line",
+    "canonical_lines",
     "completed_jobs_series",
     "format_csv",
     "format_evolution",
@@ -32,4 +42,6 @@ __all__ = [
     "sparkline",
     "step_series",
     "summarize",
+    "text_digest",
+    "trace_digest",
 ]

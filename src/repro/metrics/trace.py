@@ -9,6 +9,7 @@ simulation and its measurement decoupled.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
@@ -98,3 +99,43 @@ class Trace:
     def last_time(self) -> float:
         """Timestamp of the latest event (0.0 for an empty trace)."""
         return self.events[-1].time if self.events else 0.0
+
+
+def canonical_line(event: TraceEvent) -> str:
+    """Render one trace event as a canonical, diffable text line.
+
+    The format is deliberately lossless and deterministic — floats use
+    ``repr`` (shortest round-trip form), data keys are sorted — so two
+    traces are byte-identical iff every scheduling decision was identical.
+    The golden-trace suite (tests/slurm/test_golden_traces.py) pins the
+    scheduler's behaviour on these lines.
+    """
+    data = " ".join(
+        f"{key}={_canonical_value(event.data[key])}"
+        for key in sorted(event.data)
+    )
+    job = "-" if event.job_id is None else str(event.job_id)
+    return f"{event.time!r} {event.kind.value} {job} {data}".rstrip()
+
+
+def _canonical_value(value: Any) -> str:
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, (tuple, list)):
+        return "[" + ",".join(_canonical_value(v) for v in value) + "]"
+    return str(value)
+
+
+def canonical_lines(trace: Trace) -> List[str]:
+    """All trace events as canonical lines, in recording order."""
+    return [canonical_line(e) for e in trace]
+
+
+def trace_digest(trace: Trace) -> str:
+    """SHA-256 over the canonical rendering of a trace."""
+    return text_digest("\n".join(canonical_lines(trace)))
+
+
+def text_digest(text: str) -> str:
+    """SHA-256 of a text artifact (golden-file helper)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

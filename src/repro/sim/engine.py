@@ -44,12 +44,18 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_process: Optional[Process] = None
+        self._events_processed = 0
 
     # -- clock ------------------------------------------------------------
     @property
     def now(self) -> float:
         """Current simulation time."""
         return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total events processed so far (benchmark instrumentation)."""
+        return self._events_processed
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -73,6 +79,7 @@ class Environment:
             self._now, _, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise EmptySchedule("no scheduled events") from None
+        self._events_processed += 1
 
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:  # pragma: no cover - double-processing guard

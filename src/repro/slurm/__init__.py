@@ -8,7 +8,13 @@ node-resize protocol (Section III) and the reconfiguration policy plug-in
 
 from repro.slurm.accounting import Accounting, JobRecord
 from repro.slurm.api import SlurmAPI
-from repro.slurm.backfill import Reservation, compute_shadow, plan_backfill
+from repro.slurm.backfill import (
+    BF_MAX_JOB_TEST,
+    Reservation,
+    compute_shadow,
+    freed_at_end,
+    plan_backfill,
+)
 from repro.slurm.controller import SlurmConfig, SlurmController
 from repro.slurm.job import (
     Job,
@@ -18,27 +24,32 @@ from repro.slurm.job import (
     make_resizer,
 )
 from repro.slurm.priority import MultifactorConfig, MultifactorPriority
+from repro.slurm.queue import PendingQueue, SchedStats
 from repro.slurm.reconfig import PolicyConfig, PolicyView, ReconfigurationPolicy
 from repro.slurm.resize import expand_protocol, shrink_protocol
 
 __all__ = [
     "Accounting",
+    "BF_MAX_JOB_TEST",
     "Job",
     "JobRecord",
     "JobClass",
     "JobState",
     "MultifactorConfig",
     "MultifactorPriority",
+    "PendingQueue",
     "PolicyConfig",
     "PolicyView",
     "ReconfigurationPolicy",
     "Reservation",
+    "SchedStats",
     "SlurmAPI",
     "SlurmConfig",
     "SlurmController",
     "TERMINAL_STATES",
     "compute_shadow",
     "expand_protocol",
+    "freed_at_end",
     "make_resizer",
     "plan_backfill",
     "shrink_protocol",

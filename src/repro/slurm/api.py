@@ -100,9 +100,7 @@ class SlurmAPI:
 
     def update_time_limit(self, job: Job, time_limit: float) -> None:
         """``scontrol update JobId=A TimeLimit=...``."""
-        if time_limit <= 0:
-            raise SchedulerError(f"time limit must be positive, got {time_limit}")
-        job.time_limit = time_limit
+        self.controller.update_time_limit(job, time_limit)
 
     # -- the reconfiguration plug-in entry point ---------------------------------
     def check_status(self, job: Job, request: ResizeRequest) -> ResizeDecision:

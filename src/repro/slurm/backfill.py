@@ -15,6 +15,10 @@ from typing import List, Sequence, Tuple
 
 from repro.slurm.job import Job
 
+#: How deep into the queue a backfill pass looks (Slurm's
+#: ``bf_max_job_test`` default).
+BF_MAX_JOB_TEST = 100
+
 
 @dataclass(frozen=True)
 class Reservation:
@@ -28,27 +32,56 @@ class Reservation:
     extra_nodes: int
 
 
+def freed_at_end(job: Job) -> int:
+    """Nodes the machine actually gets back when ``job`` ends.
+
+    A started job mid-resize holds fewer nodes than ``num_nodes`` claims:
+    a resizer whose allocation was detached for an expansion holds zero,
+    and a job half-way through the shrink protocol holds its reduced set.
+    Those detached nodes are already in the free pool, so counting the
+    nominal ``num_nodes`` would tally them twice, inflate the shadow
+    computation's ``extra_nodes``, and let phase 2 of the planner park a
+    long backfill job on nodes the reservation counted on — delaying the
+    reserved head job past its shadow time.
+    """
+    if job.start_time is None:
+        # Picked to start in this same pass: will be allocated num_nodes.
+        return job.num_nodes
+    return len(job.nodes)
+
+
+def expected_end_of(job: Job, now: float) -> float:
+    """Backfill planning horizon of a running or just-picked job."""
+    # Jobs picked to start in this same pass have no start_time yet.
+    return job.expected_end if job.start_time is not None else now + job.time_limit
+
+
 def compute_shadow(
     blocked: Job,
     free_now: int,
     running: Sequence[Job],
     now: float,
+    presorted: bool = False,
 ) -> Reservation:
-    """Find when ``blocked`` can start, assuming jobs end at their limits."""
+    """Find when ``blocked`` can start, assuming jobs end at their limits.
+
+    ``presorted`` callers (the controller's incremental scheduler) pass
+    ``running`` already ordered by expected end, skipping the per-pass
+    re-sort this function would otherwise pay.
+    """
     needed = blocked.num_nodes
     available = free_now
 
-    def expected_end(job: Job) -> float:
-        # Jobs picked to start in this same pass have no start_time yet.
-        return job.expected_end if job.start_time is not None else now + job.time_limit
-
-    ends = sorted(running, key=expected_end)
+    if presorted:
+        ends = running
+    else:
+        ends = sorted(running, key=lambda job: expected_end_of(job, now))
     shadow = now
     for job in ends:
         if available >= needed:
             break
-        available += job.num_nodes
-        shadow = expected_end(job)
+        available += freed_at_end(job)
+        shadow = expected_end_of(job, now)
     # If even all running jobs ending is not enough the job can never start
     # with the current machine; park the reservation at infinity.
     if available < needed:
@@ -61,14 +94,17 @@ def plan_backfill(
     running: Sequence[Job],
     free_nodes: int,
     now: float,
-    max_job_test: int = 100,
+    max_job_test: int = BF_MAX_JOB_TEST,
+    running_presorted: bool = False,
 ) -> Tuple[List[Job], Reservation | None]:
     """Choose which pending jobs to start right now.
 
     Returns ``(jobs_to_start, reservation)`` where ``reservation`` describes
     the shadow slot of the first job that could not start (None if the whole
     queue fits).  ``max_job_test`` caps how deep into the queue the pass
-    looks (Slurm's ``bf_max_job_test``, default 100).
+    looks (Slurm's ``bf_max_job_test``, default 100).  ``running_presorted``
+    promises ``running`` is already ordered by expected end (the
+    controller's cached index), so the shadow computation skips its sort.
     """
     starts: List[Job] = []
     free = free_nodes
@@ -87,10 +123,29 @@ def plan_backfill(
         return starts, None
 
     blocked = queue[blocked_index]
-    effective_running = list(running) + starts
-    reservation = compute_shadow(blocked, free, effective_running, now)
+    if running_presorted:
+        # Merge this pass's picks (which end at now + limit) into the
+        # already-sorted running sequence instead of re-sorting everything.
+        effective_running = _merge_by_end(running, starts, now)
+        reservation = compute_shadow(
+            blocked, free, effective_running, now, presorted=True
+        )
+    else:
+        effective_running = list(running) + starts
+        reservation = compute_shadow(blocked, free, effective_running, now)
 
     # Phase 2: backfill strictly-lower-priority jobs around the reservation.
+    #
+    # Two admission rules, textbook EASY: a job that ends by shadow_time
+    # returns its nodes before the reservation needs them (availability
+    # between now and the shadow only grows — running jobs end, and the
+    # policy vetoes expansions while jobs are pending), so it consumes no
+    # reservation budget; a job that outlives the shadow squats on nodes
+    # the reservation counted available, so it must fit inside
+    # ``extra_nodes`` and is debited from it.  The debit keeps ``extra``
+    # honest for every later candidate; correctness of the no-debit short
+    # path depends on compute_shadow counting only actually-held nodes
+    # (see freed_at_end).
     extra = reservation.extra_nodes
     for job in queue[blocked_index + 1 :]:
         if job.num_nodes > free:
@@ -101,6 +156,25 @@ def plan_backfill(
             starts.append(job)
             free -= job.num_nodes
             if not fits_before_shadow:
-                # It occupies nodes the reservation was not counting on.
+                # It occupies nodes the reservation was counting on.
                 extra -= job.num_nodes
     return starts, reservation
+
+
+def _merge_by_end(
+    running_sorted: Sequence[Job], starts: List[Job], now: float
+) -> List[Job]:
+    """Merge an end-sorted running sequence with this pass's picks."""
+    picked = sorted(starts, key=lambda job: expected_end_of(job, now))
+    merged: List[Job] = []
+    i = j = 0
+    while i < len(running_sorted) and j < len(picked):
+        if expected_end_of(running_sorted[i], now) <= expected_end_of(picked[j], now):
+            merged.append(running_sorted[i])
+            i += 1
+        else:
+            merged.append(picked[j])
+            j += 1
+    merged.extend(running_sorted[i:])
+    merged.extend(picked[j:])
+    return merged

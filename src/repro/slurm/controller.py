@@ -31,7 +31,8 @@ node daemons.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from bisect import bisect_left
+from dataclasses import dataclass, field, replace
 from itertools import count
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -46,9 +47,10 @@ from repro.errors import SchedulerError
 from repro.metrics.trace import EventKind, Trace
 from repro.sim.engine import Environment
 from repro.sim.events import Event
-from repro.slurm.backfill import plan_backfill
+from repro.slurm.backfill import BF_MAX_JOB_TEST, plan_backfill
 from repro.slurm.job import Job, JobState, TERMINAL_STATES
 from repro.slurm.priority import MultifactorConfig, MultifactorPriority
+from repro.slurm.queue import PendingQueue, SchedStats
 from repro.slurm.reconfig import PolicyConfig, PolicyView, ReconfigurationPolicy
 
 
@@ -72,6 +74,13 @@ class SlurmConfig:
     #: behaviour; off by default here because the paper's workloads are
     #: well-behaved and malleable jobs rescale their limits on resize).
     enforce_time_limits: bool = False
+    #: Use the incrementally-maintained pending queue and running-jobs
+    #: expected-end index (O(k log n) per pass in jobs actually touched)
+    #: instead of the legacy re-sort-everything-per-pass path.  Both
+    #: produce byte-identical schedules (pinned by the golden-trace
+    #: suite); the flag exists so benches and the golden tests can run
+    #: the legacy scheduler for comparison.
+    incremental_queue: bool = True
 
 
 class SlurmController:
@@ -97,6 +106,22 @@ class SlurmController:
         self.pending: Dict[int, Job] = {}
         self.running: Dict[int, Job] = {}
         self.finished: List[Job] = []
+        #: Hot-path instrumentation (read by ``repro bench sched``).
+        self.stats = SchedStats()
+        #: Incremental priority queue (None in legacy resort-per-pass mode).
+        self.queue: Optional[PendingQueue] = (
+            PendingQueue(self.priority_engine, self.stats)
+            if self.config.incremental_queue
+            else None
+        )
+        # Running jobs ordered by (expected_end, start order) — the
+        # accounting plan_backfill's shadow computation needs, maintained
+        # incrementally on start/finish/resize instead of re-sorted per
+        # backfill pass.
+        self._end_keys: List[Tuple[float, int]] = []
+        self._end_jobs: List[Job] = []
+        self._end_key_of: Dict[int, Tuple[float, int]] = {}
+        self._start_seq = count()
         #: Called with each newly started (non-resizer) job; the runtime
         #: layer installs a hook here that launches the job's execution.
         self.launcher: Optional[Callable[[Job], None]] = None
@@ -119,12 +144,54 @@ class SlurmController:
     # -- queue introspection -------------------------------------------------
     def pending_jobs(self, include_resizers: bool = True) -> List[Job]:
         """Pending queue in multifactor priority order."""
+        if self.queue is not None:
+            jobs = self.queue.ordered(self.env.now)
+            if include_resizers:
+                return jobs
+            return [j for j in jobs if not j.is_resizer]
         jobs = [
             j
             for j in self.pending.values()
             if include_resizers or not j.is_resizer
         ]
+        # Legacy path: every ordered view recomputes one priority per job.
+        self.stats.key_evals += len(jobs)
         return self.priority_engine.sort_queue(jobs, self.env.now)
+
+    # -- running-jobs expected-end index -------------------------------------
+    def _running_insert(self, job: Job) -> None:
+        key = (job.expected_end, next(self._start_seq))
+        self.stats.running_end_evals += 1
+        i = bisect_left(self._end_keys, key)
+        self._end_keys.insert(i, key)
+        self._end_jobs.insert(i, job)
+        self._end_key_of[job.job_id] = key
+
+    def _running_remove(self, job: Job) -> None:
+        key = self._end_key_of.pop(job.job_id, None)
+        if key is None:
+            return
+        i = bisect_left(self._end_keys, key)
+        del self._end_keys[i]
+        del self._end_jobs[i]
+
+    def _running_reposition(self, job: Job) -> None:
+        """Re-place a running job whose expected end changed (resize)."""
+        key = self._end_key_of.pop(job.job_id, None)
+        if key is None:
+            return
+        i = bisect_left(self._end_keys, key)
+        del self._end_keys[i]
+        del self._end_jobs[i]
+        # Keep the original start sequence so ties among equal expected
+        # ends resolve in start order, exactly like the legacy stable sort
+        # over the running dict.
+        new_key = (job.expected_end, key[1])
+        self.stats.running_end_evals += 1
+        i = bisect_left(self._end_keys, new_key)
+        self._end_keys.insert(i, new_key)
+        self._end_jobs.insert(i, job)
+        self._end_key_of[job.job_id] = new_key
 
     def running_jobs(self) -> List[Job]:
         return list(self.running.values())
@@ -150,6 +217,8 @@ class SlurmController:
         job.job_id = next(self._ids)
         job.submit_time = self.env.now
         self.pending[job.job_id] = job
+        if self.queue is not None:
+            self.queue.add(job, self.env.now)
         self._start_events[job.job_id] = Event(self.env)
         self.trace.record(
             self.env.now,
@@ -181,6 +250,7 @@ class SlurmController:
         job.transition(state)
         job.end_time = self.env.now
         del self.running[job.job_id]
+        self._running_remove(job)
         self.finished.append(job)
         self.trace.record(
             self.env.now, EventKind.JOB_END, job.job_id, state=state.value
@@ -191,6 +261,8 @@ class SlurmController:
         """Cancel a pending or running job (releases any held nodes)."""
         if job.job_id in self.pending:
             del self.pending[job.job_id]
+            if self.queue is not None:
+                self.queue.discard(job)
             job.transition(JobState.CANCELLED)
             job.end_time = self.env.now
             self.finished.append(job)
@@ -201,6 +273,7 @@ class SlurmController:
             job.transition(JobState.CANCELLED)
             job.end_time = self.env.now
             del self.running[job.job_id]
+            self._running_remove(job)
             self.finished.append(job)
             proc = self.job_processes.get(job.job_id)
             if (
@@ -240,21 +313,62 @@ class SlurmController:
         Mirrors Slurm's main scheduler, which does not backfill; lower
         priority jobs only jump the queue during the periodic backfill
         thread's pass (:meth:`_backfill_pass`).
+
+        Incremental mode pops jobs off the priority heap until the first
+        blocked one and pushes back the untouched remainder with their
+        cached keys — O(k log n) in the k jobs examined.  Legacy mode
+        re-sorts the whole queue, as the original controller did; both
+        produce the same starts in the same order.
         """
         self._pass_scheduled = False
+        if self.queue is None:
+            self._scheduling_pass_legacy()
+            return
         free = self.machine.free_count
-        for job in self.pending_jobs():
+        examined = started = 0
+        deferred: List[Job] = []  # dependency-unsatisfied, skipped over
+        blocked: Optional[Job] = None
+        while True:
+            job = self.queue.pop_head(self.env.now)
+            if job is None:
+                break
+            examined += 1
             if not self._dependency_satisfied(job):
+                deferred.append(job)
                 continue
             if job.num_nodes > free:
                 # Moldable jobs (the paper's future-work "flexible
                 # submission") may start below their submitted size.
                 fitted = self._moldable_fit(job, free)
                 if fitted is None:
+                    blocked = job
                     break  # strict order: the blocked head stops the pass
                 job.num_nodes = fitted
             self._start_job(job)
+            started += 1
             free -= job.num_nodes
+        for job in deferred:
+            self.queue.push_back(job)
+        if blocked is not None:
+            self.queue.push_back(blocked)
+        self.stats.record_pass("fifo", examined, started)
+
+    def _scheduling_pass_legacy(self) -> None:
+        free = self.machine.free_count
+        examined = started = 0
+        for job in self.pending_jobs():
+            examined += 1
+            if not self._dependency_satisfied(job):
+                continue
+            if job.num_nodes > free:
+                fitted = self._moldable_fit(job, free)
+                if fitted is None:
+                    break
+                job.num_nodes = fitted
+            self._start_job(job)
+            started += 1
+            free -= job.num_nodes
+        self.stats.record_pass("fifo", examined, started)
 
     def _moldable_fit(self, job: Job, free: int) -> Optional[int]:
         """Size a moldable job into ``free`` nodes (largest fit, or None).
@@ -284,24 +398,75 @@ class SlurmController:
         self.env.process(self._backfill_loop(), name="slurm-backfill")
 
     def _backfill_loop(self):
-        """The sched/backfill thread: one EASY pass per bf_interval."""
-        while not self.all_done():
-            self._backfill_pass()
-            yield self.env.timeout(self.config.backfill_interval)
-        self._backfill_thread_alive = False
+        """The sched/backfill thread: one EASY pass per bf_interval.
+
+        The thread parks itself when the system drains (``all_done``);
+        :meth:`submit` restarts it on the next arrival, so an
+        idle-then-burst workload keeps getting backfill passes.  The
+        alive flag is cleared in a ``finally`` so a crashed pass can
+        never permanently wedge the restart logic.
+        """
+        try:
+            while not self.all_done():
+                self._backfill_pass()
+                yield self.env.timeout(self.config.backfill_interval)
+        finally:
+            self._backfill_thread_alive = False
 
     def _backfill_pass(self) -> None:
-        eligible = [
-            j for j in self.pending_jobs() if self._dependency_satisfied(j)
-        ]
+        if self.queue is None:
+            self._backfill_pass_legacy()
+            return
+        # Pop candidates in priority order until bf_max_job_test eligible
+        # ones are in hand (dependency-blocked jobs are skipped, exactly
+        # like the legacy full-queue filter); everything the planner does
+        # not start goes back with its cached key.
+        eligible: List[Job] = []
+        deferred: List[Job] = []
+        while len(eligible) < BF_MAX_JOB_TEST:
+            job = self.queue.pop_head(self.env.now)
+            if job is None:
+                break
+            if self._dependency_satisfied(job):
+                eligible.append(job)
+            else:
+                deferred.append(job)
         starts, _reservation = plan_backfill(
             eligible,
-            self.running_jobs(),
+            self._end_jobs,
+            self.machine.free_count,
+            self.env.now,
+            running_presorted=True,
+        )
+        started_ids = {job.job_id for job in starts}
+        for job in eligible:
+            if job.job_id not in started_ids:
+                self.queue.push_back(job)
+        for job in deferred:
+            self.queue.push_back(job)
+        for job in starts:
+            self._start_job(job)
+        self.stats.record_pass(
+            "backfill", len(eligible) + len(deferred), len(starts)
+        )
+
+    def _backfill_pass_legacy(self) -> None:
+        pending = self.pending_jobs()
+        eligible = [j for j in pending if self._dependency_satisfied(j)]
+        running = self.running_jobs()
+        starts, reservation = plan_backfill(
+            eligible,
+            running,
             self.machine.free_count,
             self.env.now,
         )
+        if reservation is not None:
+            # compute_shadow sorted every running job (plus this pass's
+            # picks) by expected end.
+            self.stats.running_end_evals += len(running) + len(starts)
         for job in starts:
             self._start_job(job)
+        self.stats.record_pass("backfill", len(pending), len(starts))
 
     def _start_job(self, job: Job) -> None:
         nodes = self.machine.allocate(job.job_id, job.num_nodes)
@@ -309,7 +474,10 @@ class SlurmController:
         job.transition(JobState.RUNNING)
         job.start_time = self.env.now
         del self.pending[job.job_id]
+        if self.queue is not None:
+            self.queue.discard(job)
         self.running[job.job_id] = job
+        self._running_insert(job)
         self.trace.record(
             self.env.now,
             EventKind.JOB_START,
@@ -364,6 +532,7 @@ class SlurmController:
             raise SchedulerError(f"job {job.job_id} is not running")
         if view is None:
             view = self.policy_view()
+        request = self._effective_request(job, request)
         decision = self.policy.decide(job, request, view)
         self.trace.record(
             self.env.now,
@@ -383,7 +552,31 @@ class SlurmController:
             beneficiary = self.pending.get(decision.beneficiary_job_id)
             if beneficiary is not None:
                 beneficiary.priority_boost = float("inf")
+                if self.queue is not None:
+                    self.queue.reprioritize(beneficiary, self.env.now)
         return decision
+
+    def _effective_request(self, job: Job, request: ResizeRequest) -> ResizeRequest:
+        """Clamp a moldable-start job's growth at its submitted size.
+
+        Flexible submission gives the scheduler the range
+        ``[min_procs, submitted]`` to *start* the job in; the size the
+        user submitted stays the ceiling for later grow decisions even
+        though the application's own ``max_procs`` may be larger.
+        Without the clamp, a job molded down at start could later expand
+        past the allocation it was ever asked to have (the original
+        submitted size was lost when ``_moldable_fit`` overwrote
+        ``num_nodes``; ``Job.submitted_nodes`` preserves it).
+        """
+        if not job.moldable_start:
+            return request
+        ceiling = max(job.submitted_nodes, job.num_nodes, request.min_procs)
+        if request.max_procs <= ceiling:
+            return request
+        preferred = request.preferred
+        if preferred is not None and preferred > ceiling:
+            preferred = ceiling
+        return replace(request, max_procs=ceiling, preferred=preferred)
 
     # -- resize mechanics (Section III's Slurm API steps) ------------------------
     def detach_all_nodes(self, job: Job) -> Tuple[int, ...]:
@@ -422,6 +615,7 @@ class SlurmController:
         job.nodes = self.machine.nodes_of(job.job_id)
         self._rescale_time_limit(job, old_size, len(job.nodes))
         job.record_resize(self.env.now, len(job.nodes))
+        self._running_reposition(job)
         self.trace.record(
             self.env.now,
             EventKind.RESIZE_EXPAND,
@@ -443,6 +637,7 @@ class SlurmController:
         job.nodes = self.machine.nodes_of(job.job_id)
         self._rescale_time_limit(job, job.num_nodes, new_size)
         job.record_resize(self.env.now, new_size)
+        self._running_reposition(job)
         self.trace.record(
             self.env.now,
             EventKind.RESIZE_SHRINK,
@@ -452,3 +647,15 @@ class SlurmController:
         )
         self.request_schedule()
         return released
+
+    def update_time_limit(self, job: Job, time_limit: float) -> None:
+        """``scontrol update TimeLimit``: change a job's walltime limit.
+
+        Routed through the controller (rather than poking the job) so the
+        running-jobs expected-end index stays consistent.
+        """
+        if time_limit <= 0:
+            raise SchedulerError(f"time limit must be positive, got {time_limit}")
+        job.time_limit = time_limit
+        if job.job_id in self.running:
+            self._running_reposition(job)

@@ -68,3 +68,37 @@ class MultifactorPriority:
             jobs, key=lambda j: (j.submit_time if j.submit_time is not None else 0.0, j.job_id)
         )
         return sorted(by_submit, key=lambda j: self.priority(j, now), reverse=True)
+
+    def sort_key(self, job: Job, now: float) -> tuple:
+        """Total-order key whose ascending sort equals :meth:`sort_queue`.
+
+        The age factor contributes ``weight_age * (now - submit)/max_age``
+        to every unsaturated job; dropping the job-independent
+        ``weight_age * now/max_age`` term leaves a key that does not
+        change as the clock advances, which is what lets the incremental
+        :class:`~repro.slurm.queue.PendingQueue` key each job once at
+        submission instead of re-sorting per pass.
+
+        The invariance breaks once a job's age factor saturates
+        (``age >= max_age``): its priority freezes while younger jobs
+        keep gaining.  A saturated job's key is therefore expressed on
+        the same shifted scale but is only valid at this exact ``now``;
+        the queue detects the first saturation and re-keys per timestamp
+        from then on.
+        """
+        submit = job.submit_time if job.submit_time is not None else 0.0
+        boost = job.priority_boost
+        if boost == float("inf"):
+            rel = float("-inf")
+        else:
+            cfg = self.config
+            size = cfg.weight_job_size * self.size_factor(job)
+            if max(0.0, now - submit) >= cfg.max_age:
+                # Saturated: true priority is weight_age + size + boost.
+                rel = -(
+                    cfg.weight_age + size + boost
+                    - cfg.weight_age * now / cfg.max_age
+                )
+            else:
+                rel = -(size + boost - cfg.weight_age * submit / cfg.max_age)
+        return (rel, submit, job.job_id)

@@ -8,7 +8,12 @@ CLI verbs.
 """
 
 from repro.sweep.aggregate import Aggregate, AggregateRow, SweepResult
-from repro.sweep.bench import run_bench, write_bench
+from repro.sweep.bench import (
+    replay_sched_trace,
+    run_bench,
+    run_sched_bench,
+    write_bench,
+)
 from repro.sweep.runner import (
     CellOutcome,
     SweepObserver,
@@ -30,6 +35,8 @@ __all__ = [
     "SweepRunner",
     "execute_cell",
     "metrics_from_csv",
+    "replay_sched_trace",
     "run_bench",
+    "run_sched_bench",
     "write_bench",
 ]

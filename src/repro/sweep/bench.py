@@ -1,11 +1,19 @@
-"""``repro bench`` — the canonical seed-ensemble benchmark.
+"""``repro bench`` — the canonical benchmarks.
 
-Runs a multi-seed ensemble of the paper's headline artifacts (Fig. 1,
-Fig. 3, Table II) through the sweep engine and emits
-``BENCH_sweep.json``: per-artifact wall-clock statistics (how fast the
-reproduction runs) plus per-metric simulated-result statistics with
-95% confidence bands (how stable the reproduction's claims are across
-seeds).  ``--quick`` shrinks the ensemble for CI smoke runs.
+Two verbs share this module:
+
+* ``repro bench`` — multi-seed ensemble of the paper's headline
+  artifacts (Fig. 1, Fig. 3, Table II) through the sweep engine,
+  emitting ``BENCH_sweep.json``: per-artifact wall-clock statistics plus
+  per-metric simulated-result statistics with 95% confidence bands.
+* ``repro bench sched`` — the scheduler-scale benchmark: replays large
+  synthetic Feitelson traces (and their SWF round trip) through a bare
+  :class:`~repro.slurm.controller.SlurmController` in both scheduler
+  modes and emits ``BENCH_sched.json`` with pass counts, wall-clock and
+  the comparison-work ratio of the incremental hot path over the legacy
+  resort-per-pass one.
+
+``--quick`` shrinks either bench for CI smoke runs.
 """
 
 from __future__ import annotations
@@ -27,6 +35,14 @@ BENCH_PATH = "BENCH_sweep.json"
 #: Ensemble widths: full runs 5 seeds, quick (CI smoke) runs 2.
 BENCH_SEEDS = 5
 QUICK_SEEDS = 2
+
+#: Scheduler-scale bench outputs and trace sizes.
+SCHED_BENCH_PATH = "BENCH_sched.json"
+SCHED_SIZES = (5000, 20000, 50000)
+SCHED_QUICK_SIZES = (2000,)
+#: Legacy (O(n^2)) replays are capped by default: at 50k jobs the
+#: resort-per-pass scheduler is exactly what this bench exists to retire.
+SCHED_LEGACY_CAP = 20000
 
 
 def run_bench(
@@ -77,6 +93,173 @@ def write_bench(data: Dict[str, object], path: str = BENCH_PATH) -> str:
         json.dump(data, fh, indent=2, sort_keys=True)
         fh.write("\n")
     return path
+
+
+# -- the scheduler-scale bench (repro bench sched) ----------------------------
+
+def replay_sched_trace(
+    trace,
+    num_nodes: Optional[int] = None,
+    incremental: bool = True,
+    backfill_interval: float = 30.0,
+) -> Dict[str, object]:
+    """Replay a scheduler trace through a bare controller; return stats.
+
+    Jobs are rigid and carry no application payload: a started job simply
+    occupies its nodes for its trace runtime, so the measurement isolates
+    the scheduler hot path (queue maintenance, FIFO passes, EASY
+    backfill) from the runtime/DMR machinery.
+    """
+    from repro.cluster.machine import Machine
+    from repro.sim.engine import Environment
+    from repro.slurm.controller import SlurmConfig, SlurmController
+    from repro.slurm.job import Job
+
+    if num_nodes is None:
+        num_nodes = autosize_cluster(trace)
+    env = Environment()
+    machine = Machine(num_nodes)
+    controller = SlurmController(
+        env,
+        machine,
+        SlurmConfig(
+            incremental_queue=incremental,
+            backfill_interval=backfill_interval,
+        ),
+    )
+    runtimes: Dict[int, float] = {}
+
+    def execute(job):
+        yield env.timeout(runtimes[job.job_id])
+        controller.finish_job(job)
+
+    controller.launcher = lambda job: env.process(
+        execute(job), name=f"run-{job.job_id}"
+    )
+
+    def submitter():
+        for tj in sorted(trace, key=lambda t: t.arrival):
+            if tj.arrival > env.now:
+                yield env.timeout(tj.arrival - env.now)
+            job = Job(name=tj.name, num_nodes=tj.nodes, time_limit=tj.limit)
+            controller.submit(job)
+            runtimes[job.job_id] = tj.runtime
+
+    env.process(submitter(), name="sched-bench-arrivals")
+    t0 = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - t0
+    if not controller.all_done():
+        from repro.errors import SweepError
+
+        raise SweepError(
+            f"sched bench trace did not drain: {len(controller.pending)} "
+            f"pending, {len(controller.running)} running on {num_nodes} nodes"
+        )
+    stats = controller.stats.snapshot()
+    return {
+        "mode": "incremental" if incremental else "legacy",
+        "jobs": len(trace),
+        "nodes": num_nodes,
+        "wall_s": wall,
+        "makespan_s": env.now,
+        "sim_events": env.events_processed,
+        "wall_us_per_pass": (
+            1e6 * wall / stats["passes"] if stats["passes"] else 0.0
+        ),
+        **stats,
+    }
+
+
+def autosize_cluster(trace, target_utilization: float = 0.9) -> int:
+    """Cluster size giving the trace sustained queue pressure.
+
+    Sized so the offered load (node-seconds per second of arrivals) fills
+    ``target_utilization`` of the machine: large enough that the trace
+    drains, small enough that a real pending queue builds up and the
+    scheduler actually has work to do.
+    """
+    span = max(t.arrival for t in trace) or 1.0
+    work = sum(t.nodes * t.runtime for t in trace)
+    widest = max(t.nodes for t in trace)
+    return max(widest, int(work / span / target_utilization))
+
+
+def run_sched_bench(
+    sizes: Optional[Sequence[int]] = None,
+    quick: bool = False,
+    seed: int = DEFAULT_BASE_SEED,
+    legacy: bool = True,
+    legacy_cap: int = SCHED_LEGACY_CAP,
+    progress=None,
+) -> Dict[str, object]:
+    """Run the scheduler-scale bench; returns the BENCH_sched.json payload.
+
+    For every trace size: replay with the incremental scheduler, replay
+    with the legacy resort-per-pass scheduler (up to ``legacy_cap``
+    jobs), and record the comparison-work and wall-clock ratios.  The
+    smallest size is additionally replayed from an SWF round trip of the
+    trace, covering the real-log import path.
+    """
+    from repro.workload.generator import sched_trace, sched_trace_via_swf
+
+    if sizes is None:
+        sizes = SCHED_QUICK_SIZES if quick else SCHED_SIZES
+    say = progress if progress is not None else (lambda message: None)
+    t_total = time.perf_counter()
+    traces: Dict[str, object] = {}
+    generated = {}
+    for size in sizes:
+        trace = generated.setdefault(size, sched_trace(size, seed=seed))
+        say(f"replaying {size}-job trace (incremental scheduler)")
+        entry: Dict[str, object] = {
+            "incremental": replay_sched_trace(trace, incremental=True)
+        }
+        if legacy and size <= legacy_cap:
+            say(f"replaying {size}-job trace (legacy scheduler)")
+            entry["legacy"] = replay_sched_trace(trace, incremental=False)
+            entry["speedup"] = speedup_of(entry["legacy"], entry["incremental"])
+        traces[str(size)] = entry
+
+    swf_size = min(sizes)
+    say(f"replaying {swf_size}-job SWF round-trip trace")
+    swf_trace = sched_trace_via_swf(generated[swf_size])
+    swf_entry: Dict[str, object] = {
+        "incremental": replay_sched_trace(swf_trace, incremental=True)
+    }
+    if legacy and swf_size <= legacy_cap:
+        swf_entry["legacy"] = replay_sched_trace(swf_trace, incremental=False)
+        swf_entry["speedup"] = speedup_of(
+            swf_entry["legacy"], swf_entry["incremental"]
+        )
+    return {
+        "bench": "sched",
+        "version": _version(),
+        "quick": quick,
+        "seed": seed,
+        "sizes": list(sizes),
+        "generated_unix": time.time(),
+        "traces": traces,
+        "swf_roundtrip": {str(swf_size): swf_entry},
+        "total_wall_s": time.perf_counter() - t_total,
+    }
+
+
+def speedup_of(
+    legacy: Dict[str, object], incremental: Dict[str, object]
+) -> Dict[str, float]:
+    """Legacy-over-incremental ratios (higher = bigger win)."""
+
+    def ratio(key: str) -> float:
+        denominator = float(incremental[key]) or 1.0
+        return float(legacy[key]) / denominator
+
+    return {
+        "comparisons_ratio": ratio("comparisons"),
+        "key_evals_ratio": ratio("key_evals"),
+        "wall_ratio": ratio("wall_s"),
+        "wall_per_pass_ratio": ratio("wall_us_per_pass"),
+    }
 
 
 def _version() -> str:

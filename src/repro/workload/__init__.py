@@ -4,14 +4,23 @@ from repro.workload.feitelson import FeitelsonConfig, FeitelsonModel
 from repro.workload.generator import (
     FSWorkloadConfig,
     REALAPP_FACTORIES,
+    SchedTraceJob,
     fs_workload,
     realapp_workload,
+    sched_trace,
+    sched_trace_via_swf,
 )
 from repro.workload.spec import JobSpec, WorkloadSpec
-from repro.workload.swf import export_results, export_spec, parse_swf
+from repro.workload.swf import (
+    export_results,
+    export_sched_trace,
+    export_spec,
+    parse_swf,
+)
 
 __all__ = [
     "export_results",
+    "export_sched_trace",
     "export_spec",
     "parse_swf",
     "FSWorkloadConfig",
@@ -19,7 +28,10 @@ __all__ = [
     "FeitelsonModel",
     "JobSpec",
     "REALAPP_FACTORIES",
+    "SchedTraceJob",
     "WorkloadSpec",
     "fs_workload",
     "realapp_workload",
+    "sched_trace",
+    "sched_trace_via_swf",
 ]

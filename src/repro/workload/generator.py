@@ -123,6 +123,93 @@ def fs_workload(
     return WorkloadSpec(name=f"fs-{num_jobs}jobs-seed{seed}", jobs=specs, seed=seed)
 
 
+@dataclass(frozen=True)
+class SchedTraceJob:
+    """One job of a scheduler-scale trace (no application payload).
+
+    The ``repro bench sched`` harness replays tens of thousands of these
+    through a bare :class:`~repro.slurm.controller.SlurmController`; the
+    full :class:`~repro.workload.spec.JobSpec` (app factory, runtime
+    model, DMR machinery) would dominate the measurement and cap the
+    feasible trace size.
+    """
+
+    name: str
+    nodes: int
+    arrival: float
+    runtime: float
+    limit: float
+
+
+def sched_trace(
+    num_jobs: int,
+    seed: int = 0,
+    max_size: int = 20,
+    arrival_mean: float = 10.0,
+    runtime_short_mean: float = 120.0,
+    runtime_long_mean: float = 600.0,
+    runtime_cap: float = 3600.0,
+) -> List[SchedTraceJob]:
+    """Generate a synthetic Feitelson trace for scheduler benchmarks.
+
+    Sizes, runtimes (hyperexponential, size-correlated) and Poisson
+    arrivals come from the same model as the FS workloads, but runtimes
+    are job totals (minutes-scale, like real cluster logs) rather than
+    per-step times.
+    """
+    if num_jobs < 1:
+        raise WorkloadError(f"num_jobs must be >= 1, got {num_jobs}")
+    rng = RandomStreams(seed)
+    model = FeitelsonModel(
+        FeitelsonConfig(
+            max_size=max_size,
+            arrival_mean=arrival_mean,
+            runtime_short_mean=runtime_short_mean,
+            runtime_long_mean=runtime_long_mean,
+            runtime_cap=runtime_cap,
+        ),
+        rng,
+    )
+    arrivals = model.arrival_times(num_jobs)
+    jobs: List[SchedTraceJob] = []
+    for i in range(num_jobs):
+        size = model.sample_size()
+        runtime = model.sample_runtime(size)
+        jobs.append(
+            SchedTraceJob(
+                name=f"sched-{i:05d}",
+                nodes=size,
+                arrival=arrivals[i],
+                runtime=runtime,
+                limit=1.2 * runtime,
+            )
+        )
+    return jobs
+
+
+def sched_trace_via_swf(trace: Sequence[SchedTraceJob]) -> List[SchedTraceJob]:
+    """Round-trip a scheduler trace through the SWF format.
+
+    Serializes the trace as a Standard Workload Format log and parses it
+    back, exercising the real-log import path at bench scale.  SWF stores
+    times at centisecond precision, so the returned jobs are the
+    rounded-as-logged rendition of the input.
+    """
+    from repro.workload.swf import export_sched_trace, parse_swf
+
+    spec = parse_swf(export_sched_trace(trace))
+    return [
+        SchedTraceJob(
+            name=js.name,
+            nodes=js.submit_nodes,
+            arrival=js.arrival_time,
+            runtime=js.time_limit / 1.2,
+            limit=js.time_limit,
+        )
+        for js in spec.jobs
+    ]
+
+
 #: The paper's Section IX job mix: one third of each real application.
 REALAPP_FACTORIES: Sequence[Callable[[], AppModel]] = (
     conjugate_gradient,

@@ -14,6 +14,9 @@ def run(nodes, start, limit, jid=100):
     job = Job(name=f"r{jid}", num_nodes=nodes, time_limit=limit)
     job.job_id = jid
     job.start_time = start
+    # A genuinely running job holds its nodes; the planner counts the
+    # held set (not the nominal size) when projecting future frees.
+    job.nodes = tuple(range(1000 * jid, 1000 * jid + nodes))
     return job
 
 
@@ -115,3 +118,79 @@ def test_multiple_immediate_starts_then_blocked():
 def test_empty_queue():
     starts, res = plan_backfill([], [], 8, now=0.0)
     assert starts == [] and res is None
+
+
+# -- mid-resize accounting regressions ----------------------------------------
+#
+# A running job mid-resize holds fewer nodes than num_nodes claims (a
+# resizer detached for an expansion holds zero).  The shadow computation
+# must count the *held* set: counting the nominal size tallies the
+# detached nodes twice — once in free_now, once at the job's "end".
+
+
+def detached(nodes, start, limit, jid):
+    """A mid-expand job: started, nominal size ``nodes``, holds nothing."""
+    job = run(nodes, start, limit, jid=jid)
+    job.nodes = ()
+    return job
+
+
+def test_shadow_counts_held_nodes_not_nominal_size():
+    # 8-node machine: holder owns 4 (ends t=50); a detached mid-expand job
+    # nominally owns 2 but holds 0 ("ends" t=40); 4 nodes are free.
+    # A blocked 6-node job truly has to wait for the holder: shadow t=50.
+    mid = detached(2, start=0.0, limit=40.0, jid=100)
+    holder = run(4, start=0.0, limit=50.0, jid=101)
+    res = compute_shadow(pend(6, jid=1), free_now=4, running=[mid, holder], now=0.0)
+    # Pre-fix: the detached job's phantom 2 nodes made available reach 6
+    # at t=40 (shadow too early, extra inflated).
+    assert res.shadow_time == 50.0
+    assert res.extra_nodes == 2  # 4 free + 4 from holder - 6 reserved
+
+
+def test_backfill_never_delays_reserved_head_past_shadow():
+    """Regression: phase 2 must not park a long job on reserved nodes."""
+    mid = detached(2, start=0.0, limit=40.0, jid=100)
+    holder = run(4, start=0.0, limit=50.0, jid=101)
+    # Head needs all 8 nodes: 4 free now + holder's 4 at t=50 (true
+    # shadow), extra = 0.  The long backfill candidate must NOT start:
+    # it would squat on free nodes the reservation counts on and delay
+    # the head until t=500.
+    queue = [pend(8, jid=1), pend(2, limit=500.0, jid=2)]
+    starts, res = plan_backfill(queue, [mid, holder], free_nodes=4, now=0.0)
+    assert res is not None and res.job.job_id == 1
+    assert res.shadow_time == 50.0
+    assert res.extra_nodes == 0
+    # Pre-fix: extra was inflated to 2 by the detached job's phantom
+    # nodes, so job 2 (2 nodes, 500 s) "fit beside" the reservation.
+    assert starts == []
+
+
+def test_backfill_short_job_still_allowed_next_to_detached():
+    """Jobs ending by the (corrected) shadow still backfill normally."""
+    mid = detached(2, start=0.0, limit=40.0, jid=100)
+    holder = run(4, start=0.0, limit=50.0, jid=101)
+    queue = [pend(8, jid=1), pend(2, limit=50.0, jid=2)]
+    starts, _ = plan_backfill(queue, [mid, holder], free_nodes=4, now=0.0)
+    assert [j.job_id for j in starts] == [2]
+
+
+def test_plan_backfill_presorted_matches_unsorted():
+    running = [
+        run(2, start=0.0, limit=90.0, jid=100),
+        run(3, start=0.0, limit=30.0, jid=101),
+        run(2, start=0.0, limit=60.0, jid=102),
+    ]
+    queue = [
+        pend(6, jid=1),
+        pend(2, limit=25.0, jid=2),
+        pend(1, limit=400.0, jid=3),
+    ]
+    baseline = plan_backfill(queue, running, free_nodes=1, now=0.0)
+    presorted = sorted(running, key=lambda j: j.expected_end)
+    fast = plan_backfill(
+        queue, presorted, free_nodes=1, now=0.0, running_presorted=True
+    )
+    assert [j.job_id for j in baseline[0]] == [j.job_id for j in fast[0]]
+    assert baseline[1].shadow_time == fast[1].shadow_time
+    assert baseline[1].extra_nodes == fast[1].extra_nodes

@@ -327,3 +327,49 @@ class TestCheckStatus:
         # in pending; policy views must filter it.
         view = ctl.policy_view()
         assert all(not p.is_resizer for p in view.pending)
+
+
+class TestBackfillThreadRestart:
+    """The sched/backfill thread must survive idle-then-burst workloads:
+    it parks itself when the system drains and submit() restarts it."""
+
+    def test_burst_during_sleep_window_reuses_thread(self):
+        env, _, ctl = make_setup(nodes=8)
+        first = ctl.submit(rigid(2, limit=50.0))
+        env.run(until=5.0)
+        ctl.finish_job(first)
+        # The system is drained but the thread sleeps until t=30.  A
+        # burst lands inside that window.
+        blocker = ctl.submit(rigid(6, limit=100.0, name="blocker"))
+        env.run(until=6.0)
+        head = ctl.submit(rigid(8, limit=100.0, name="wide-head"))
+        shorty = ctl.submit(rigid(2, limit=50.0, name="shorty"))
+        env.run(until=31.0)
+        # The event-driven FIFO pass stops at the wide head; only the
+        # (still-alive) backfill thread's t=30 pass can start shorty.
+        assert blocker.is_running
+        assert head.is_pending
+        assert shorty.is_running
+        assert shorty.start_time == pytest.approx(30.0)
+
+    def test_idle_then_burst_restarts_thread(self):
+        env, _, ctl = make_setup(nodes=8)
+        first = ctl.submit(rigid(2, limit=50.0))
+        env.run(until=10.0)
+        ctl.finish_job(first)
+        # Drain well past several backfill intervals: the thread exits.
+        env.run(until=200.0)
+        assert ctl.all_done()
+        assert ctl._backfill_thread_alive is False
+        # Burst: blocker + wide head + a job only backfill can start.
+        blocker = ctl.submit(rigid(6, limit=100.0, name="blocker"))
+        assert ctl._backfill_thread_alive is True
+        env.run(until=201.0)
+        head = ctl.submit(rigid(8, limit=100.0, name="wide-head"))
+        shorty = ctl.submit(rigid(2, limit=50.0, name="shorty"))
+        env.run(until=231.0)
+        assert blocker.is_running
+        assert head.is_pending
+        assert shorty.is_running
+        # The restarted thread passed at t=200 and again at t=230.
+        assert shorty.start_time == pytest.approx(230.0)

@@ -71,6 +71,50 @@ class TestMoldableSubmission:
         env.run(until=1.0)
         assert rigid.is_pending
 
+    def test_molded_start_preserves_submitted_size(self):
+        """Regression: _moldable_fit overwrites num_nodes; the submitted
+        size must survive on Job.submitted_nodes."""
+        env, _, _, ctl = setup(nodes=16)
+        ctl.submit(
+            Job(name="big", num_nodes=12, time_limit=1000.0, payload=app_of(at=12))
+        )
+        mold = ctl.submit(self.moldable_job(8))
+        env.run(until=1.0)
+        assert mold.num_nodes == 4
+        assert mold.submitted_nodes == 8
+
+    def test_molded_job_grow_ceiling_is_submitted_size(self):
+        """Regression: a job molded down at start must not later grow past
+        the size the user submitted, even when the application's own
+        max_procs is larger."""
+        from repro.cluster import Machine
+        from repro.core import ResizeAction
+        from repro.slurm import SlurmController
+
+        env = Environment()
+        ctl = SlurmController(env, Machine(16))
+        blocker = ctl.submit(Job(name="big", num_nodes=12, time_limit=1000.0))
+        app_req = ResizeRequest(min_procs=1, max_procs=16)
+        mold = ctl.submit(
+            Job(
+                name="m",
+                num_nodes=8,
+                time_limit=1000.0,
+                job_class=JobClass.MALLEABLE,
+                resize_request=app_req,
+                moldable_start=True,
+            )
+        )
+        env.run(until=1.0)
+        assert mold.is_running and mold.num_nodes == 4
+        ctl.finish_job(blocker)
+        env.run(until=2.0)
+        # Queue empty, 12 nodes free: the app's request would allow 16,
+        # but the user only ever asked for 8.
+        decision = ctl.check_status(mold, app_req)
+        assert decision.action is ResizeAction.EXPAND
+        assert decision.target_procs == 8
+
 
 class TestTimeLimits:
     def test_overrunning_job_killed(self):

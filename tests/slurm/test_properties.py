@@ -18,6 +18,8 @@ def run(nodes, start, limit, jid):
     job = Job(name=f"r{jid}", num_nodes=nodes, time_limit=limit)
     job.job_id = jid
     job.start_time = start
+    # Running jobs hold their nodes; the planner counts the held set.
+    job.nodes = tuple(range(1000 * jid, 1000 * jid + nodes))
     return job
 
 

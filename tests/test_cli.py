@@ -303,6 +303,33 @@ class TestBenchMode:
             assert entry["metrics"]
         assert "[bench written to" in capsys.readouterr().out
 
+    def test_bench_sched_writes_well_formed_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_sched.json"
+        assert main(["bench", "sched", "--sizes", "300", "--quiet",
+                     "--out", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert data["bench"] == "sched"
+        assert list(data["traces"]) == ["300"]
+        entry = data["traces"]["300"]
+        assert entry["incremental"]["jobs_started"] == 300
+        # Same schedule, asymptotically less work.
+        assert entry["legacy"]["makespan_s"] == entry["incremental"]["makespan_s"]
+        assert entry["speedup"]["comparisons_ratio"] > 1.0
+        assert "300" in data["swf_roundtrip"]
+        assert "[bench written to" in capsys.readouterr().out
+
+    def test_bench_sched_no_legacy(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_sched.json"
+        assert main(["bench", "sched", "--sizes", "200", "--no-legacy",
+                     "--quiet", "--out", str(out)]) == 0
+        data = json.loads(out.read_text())
+        entry = data["traces"]["200"]
+        assert "legacy" not in entry and "speedup" not in entry
+
 
 class TestCacheMode:
     def test_ls_empty(self, capsys):

@@ -169,3 +169,43 @@ class TestWorkloadSpec:
             ],
         )
         assert [s.name for s in spec.jobs] == ["a", "b"]
+
+
+class TestSchedTrace:
+    def test_deterministic_per_seed(self):
+        from repro.workload.generator import sched_trace
+
+        a = sched_trace(100, seed=3)
+        b = sched_trace(100, seed=3)
+        c = sched_trace(100, seed=4)
+        assert a == b
+        assert a != c
+
+    def test_shapes_and_bounds(self):
+        from repro.workload.generator import sched_trace
+
+        trace = sched_trace(200, seed=0, max_size=20, runtime_cap=3600.0)
+        assert len(trace) == 200
+        assert all(1 <= t.nodes <= 20 for t in trace)
+        assert all(0.0 < t.runtime <= 3600.0 for t in trace)
+        assert all(t.limit == pytest.approx(1.2 * t.runtime) for t in trace)
+        arrivals = [t.arrival for t in trace]
+        assert arrivals == sorted(arrivals)
+
+    def test_validation(self):
+        from repro.workload.generator import sched_trace
+
+        with pytest.raises(WorkloadError):
+            sched_trace(0)
+
+    def test_swf_round_trip_preserves_shape(self):
+        from repro.workload.generator import sched_trace, sched_trace_via_swf
+
+        trace = sched_trace(50, seed=1)
+        back = sched_trace_via_swf(trace)
+        assert len(back) == len(trace)
+        assert [t.nodes for t in back] == [t.nodes for t in trace]
+        # SWF stores times at centisecond precision.
+        for orig, rt in zip(trace, back):
+            assert rt.arrival == pytest.approx(orig.arrival, abs=0.01)
+            assert rt.runtime == pytest.approx(orig.runtime, abs=0.01)
