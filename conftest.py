@@ -1,0 +1,18 @@
+"""Repository-root pytest configuration.
+
+Loads the :mod:`repro.testing` plugin so every test and benchmark in the
+tier-1 run — experiment drivers, CLI invocations, sweep cells and the
+per-figure benches alike — gets an
+:class:`~repro.testing.invariants.InvariantObserver` attached to each
+``Session.build`` for free (opt out per test with
+``@pytest.mark.no_invariants``).
+"""
+
+import os
+import sys
+
+# The suite is documented to run with PYTHONPATH=src; make collection
+# robust when a bare `pytest` is invoked without it.
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+
+pytest_plugins = ("repro.testing.pytest_plugin",)

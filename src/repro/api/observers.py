@@ -36,6 +36,14 @@ from repro.slurm.job import Job
 class SessionObserver:
     """Base class for session observers; every hook defaults to a no-op."""
 
+    def on_attach(self, controller) -> None:
+        """Called once when the observer is wired to a live simulation.
+
+        Gives state-checking observers (e.g. the invariant harness in
+        :mod:`repro.testing`) access to the controller and machine for
+        ground-truth comparisons; purely event-driven observers ignore it.
+        """
+
     def on_submit(self, time: float, job: Job) -> None:
         """A workload job was submitted to the controller."""
 
@@ -44,6 +52,9 @@ class SessionObserver:
 
     def on_resize(self, time: float, job: Job, event: TraceEvent) -> None:
         """A running job was expanded or shrunk (see ``event.kind``)."""
+
+    def on_requeue(self, time: float, job: Job) -> None:
+        """A running job was requeued (node failure) and will restart."""
 
     def on_complete(self, time: float, job: Job) -> None:
         """A workload job finished (completed, cancelled or timed out)."""
@@ -90,7 +101,11 @@ class TimelineObserver(SessionObserver):
                 self._running_points.append(
                     (event.time, float(len(self._running)))
                 )
-        elif kind in (EventKind.JOB_END, EventKind.JOB_CANCEL):
+        elif kind in (
+            EventKind.JOB_END,
+            EventKind.JOB_CANCEL,
+            EventKind.JOB_REQUEUE,
+        ):
             if event.job_id in self._running:
                 self._running.discard(event.job_id)
                 self._running_points.append(
@@ -223,6 +238,7 @@ class ObserverDispatch:
         EventKind.JOB_START,
         EventKind.JOB_END,
         EventKind.JOB_CANCEL,
+        EventKind.JOB_REQUEUE,
         EventKind.RESIZE_EXPAND,
         EventKind.RESIZE_SHRINK,
     }
@@ -234,6 +250,8 @@ class ObserverDispatch:
         #: id -> Job, filled at submission so later events resolve in O(1)
         #: (controller.get_job scans the finished list).
         self._jobs: Dict[int, Job] = {}
+        for obs in observers:
+            obs.on_attach(controller)
 
     def __call__(self, event: TraceEvent) -> None:
         for obs in self._observers:
@@ -255,6 +273,8 @@ class ObserverDispatch:
                 obs.on_submit(event.time, job)
             elif kind is EventKind.JOB_START:
                 obs.on_start(event.time, job)
+            elif kind is EventKind.JOB_REQUEUE:
+                obs.on_requeue(event.time, job)
             elif kind in (EventKind.JOB_END, EventKind.JOB_CANCEL):
                 obs.on_complete(event.time, job)
             else:

@@ -213,6 +213,7 @@ _BUILTIN_MODULES = (
     "repro.experiments.fig09_inhibitor",
     "repro.experiments.fig10_12_realapps",
     "repro.experiments.scalability",
+    "repro.experiments.resilience",
 )
 
 

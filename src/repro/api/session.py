@@ -30,6 +30,7 @@ from repro.api.results import PairedComparison, WorkloadResult
 from repro.cluster.configs import ClusterConfig, marenostrum_production
 from repro.cluster.machine import Machine
 from repro.errors import SimulationTimeout
+from repro.faults import FaultInjector, FaultPlan, install_faults
 from repro.metrics.summary import summarize
 from repro.runtime.nanos import RuntimeConfig, install_runtime_launcher
 from repro.sim.engine import Environment
@@ -57,6 +58,8 @@ class LiveSimulation:
     #: session has no observers); detached once execution finishes so
     #: results do not retain the simulation stack.
     dispatch: Optional[ObserverDispatch] = None
+    #: The fault injector driving the session's fault plan, if any.
+    injector: Optional[FaultInjector] = None
 
 
 @dataclass(frozen=True)
@@ -77,6 +80,7 @@ class SessionSpec:
     runtime: Optional[RuntimeConfig] = None
     seed: Optional[int] = None
     max_sim_time: float = DEFAULT_MAX_SIM_TIME
+    faults: Optional[FaultPlan] = None
 
     def build(self) -> "Session":
         """Reconstitute the session this spec describes."""
@@ -86,6 +90,7 @@ class SessionSpec:
             runtime=self.runtime,
             seed=self.seed,
             max_sim_time=self.max_sim_time,
+            faults=self.faults,
         )
 
 
@@ -99,6 +104,7 @@ class Session:
     seed: Optional[int] = None
     observers: Tuple[SessionObserver, ...] = ()
     max_sim_time: float = DEFAULT_MAX_SIM_TIME
+    faults: Optional[FaultPlan] = None
 
     # -- builder steps -----------------------------------------------------
     def with_cluster(self, cluster: ClusterConfig) -> "Session":
@@ -130,6 +136,15 @@ class Session:
         """Set the default simulation horizon for runs of this session."""
         return replace(self, max_sim_time=max_sim_time)
 
+    def with_faults(self, plan: Optional[FaultPlan]) -> "Session":
+        """Inject a fault plan into every run of this session.
+
+        The same (pre-sampled) plan replays against the fixed and the
+        flexible rendition, so a paired comparison isolates exactly how
+        each failure-handling mechanism copes.  ``None`` removes faults.
+        """
+        return replace(self, faults=plan)
+
     def observe(self, *observers: SessionObserver) -> "Session":
         """Attach observers; they receive live events from every run."""
         return replace(self, observers=self.observers + tuple(observers))
@@ -142,6 +157,7 @@ class Session:
             runtime=self.runtime,
             seed=self.seed,
             max_sim_time=self.max_sim_time,
+            faults=self.faults,
         )
 
     @classmethod
@@ -190,8 +206,13 @@ class Session:
         if observers:
             dispatch = ObserverDispatch(controller, observers)
             controller.trace.subscribe(dispatch)
+        injector = install_faults(controller, self.faults)
         return LiveSimulation(
-            env=env, machine=machine, controller=controller, dispatch=dispatch
+            env=env,
+            machine=machine,
+            controller=controller,
+            dispatch=dispatch,
+            injector=injector,
         )
 
     def submit(self, spec: WorkloadSpec, flexible: bool = True) -> "SessionRun":

@@ -188,17 +188,120 @@ def _run_user_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- resilience mode ----------------------------------------------------------
+
+def _build_resilience_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro resilience",
+        description="C/R vs DMR under MTBF-sampled node failures: the same "
+        "fault plan replays against both mechanisms; reports completed "
+        "work and makespan per MTBF (every run invariant-checked). "
+        "Like 'repro sweep'/'bench', this mode always re-simulates; the "
+        "registry form of the same artifact (via 'repro all', or the "
+        "'resilience' name in an artifact list) runs the default MTBF "
+        "sweep through the cached-artifact path instead.",
+    )
+    parser.add_argument("--mtbf", type=_float_list, default=None,
+                        metavar="S1,S2,...",
+                        help="cluster-wide MTBF values in seconds "
+                        "(default 2000,1000,500; --quick: 500)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload + single MTBF for CI smoke runs")
+    parser.add_argument("--seed", type=int, default=None, metavar="N",
+                        help="workload + fault-plan seed (default 2017)")
+    parser.add_argument("--num-jobs", type=int, default=None, metavar="N",
+                        help="workload size (default 20; --quick: 14)")
+    parser.add_argument("--repair-time", type=float, default=None, metavar="S",
+                        help="node repair time in seconds (default 600)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless DMR completed strictly "
+                        "more work than C/R at the harshest MTBF")
+    parser.add_argument("--csv", metavar="DIR", default=None,
+                        help="also write resilience.csv into DIR")
+    return parser
+
+
+def _resilience_mode(argv: List[str]) -> int:
+    from repro.api.registry import default_seed
+    from repro.experiments import resilience as rz
+
+    args = _build_resilience_parser().parse_args(argv)
+    mtbfs = args.mtbf
+    if mtbfs is not None and not mtbfs:
+        print("--mtbf needs at least one value", file=sys.stderr)
+        return 2
+    import math
+
+    if mtbfs is not None and any(not math.isfinite(m) or m <= 0 for m in mtbfs):
+        print("--mtbf values must be positive finite seconds", file=sys.stderr)
+        return 2
+    if args.repair_time is not None and (
+        not math.isfinite(args.repair_time) or args.repair_time <= 0
+    ):
+        print("--repair-time must be a positive finite number of seconds",
+              file=sys.stderr)
+        return 2
+    if args.num_jobs is not None and args.num_jobs < 1:
+        print("--num-jobs must be >= 1", file=sys.stderr)
+        return 2
+    if mtbfs is None:
+        mtbfs = list(
+            rz.RESILIENCE_QUICK_MTBFS if args.quick else rz.RESILIENCE_MTBFS
+        )
+    num_jobs = args.num_jobs
+    if num_jobs is None:
+        num_jobs = (
+            rz.RESILIENCE_QUICK_NUM_JOBS if args.quick else rz.RESILIENCE_NUM_JOBS
+        )
+    result = rz.run_resilience(
+        seed=default_seed(args.seed),
+        mtbfs=mtbfs,
+        num_jobs=num_jobs,
+        repair_time=(
+            rz.REPAIR_TIME if args.repair_time is None else args.repair_time
+        ),
+    )
+    print(result.as_table())
+    harshest = min(mtbfs)
+    cr = result.row(harshest, "cr")
+    dmr = result.row(harshest, "dmr")
+    ahead = dmr.completed_work > cr.completed_work
+    print(
+        f"at MTBF {harshest:g}s: DMR completed {100 * dmr.work_fraction:.1f}% "
+        f"vs C/R {100 * cr.work_fraction:.1f}% -> "
+        f"{'DMR strictly ahead' if ahead else 'no separation'}"
+    )
+    if args.csv is not None:
+        os.makedirs(args.csv, exist_ok=True)
+        path = os.path.join(args.csv, "resilience.csv")
+        with open(path, "w") as fh:
+            fh.write(result.as_csv())
+        print(f"[csv written to {path}]")
+    if args.check and not ahead:
+        print("resilience check failed: DMR did not beat C/R", file=sys.stderr)
+        return 1
+    return 0
+
+
 # -- sweep / bench / cache modes ---------------------------------------------
 
-def _int_list(text: str) -> List[int]:
-    try:
-        return [int(part) for part in text.split(",") if part]
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"not a comma-separated int list: {text!r}")
+def _csv_list(cast, kind: str):
+    """Argparse type: comma-separated list of ``cast``-able values."""
+
+    def parse(text: str):
+        try:
+            return [cast(part) for part in text.split(",") if part]
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"not a comma-separated {kind} list: {text!r}"
+            )
+
+    return parse
 
 
-def _str_list(text: str) -> List[str]:
-    return [part for part in text.split(",") if part]
+_int_list = _csv_list(int, "int")
+_float_list = _csv_list(float, "float")
+_str_list = _csv_list(str, "string")
 
 
 def _store_for(args: argparse.Namespace):
@@ -506,6 +609,8 @@ def main(argv: List[str] | None = None) -> int:
         return _bench_mode(argv[1:])
     if argv and argv[0].lower() == "cache":
         return _cache_mode(argv[1:])
+    if argv and argv[0].lower() == "resilience":
+        return _resilience_mode(argv[1:])
     args = build_parser().parse_args(argv)
     if args.artifacts[0].lower() == "run":
         if len(args.artifacts) > 1:

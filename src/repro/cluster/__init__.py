@@ -13,7 +13,7 @@ from repro.cluster.configs import (
 )
 from repro.cluster.machine import Machine
 from repro.cluster.network import GiB, MiB, NetworkModel, SpawnModel
-from repro.cluster.node import Node, NodeState
+from repro.cluster.node import Node, NodeHealth, NodeState
 from repro.cluster.storage import SharedFilesystem
 
 __all__ = [
@@ -23,6 +23,7 @@ __all__ = [
     "MiB",
     "NetworkModel",
     "Node",
+    "NodeHealth",
     "NodeState",
     "SharedFilesystem",
     "SpawnModel",

@@ -40,6 +40,10 @@ class DecisionReason(enum.Enum):
     PENDING_FITS = "pending_fits"
     EXPAND_IDLE_RESOURCES = "expand_idle_resources"
     NO_RESOURCES = "no_resources"
+    #: Forced shrink issued by the RMS itself when a node a flexible job
+    #: holds fails: the job evacuates the dying node at its next
+    #: reconfiguring point instead of dying with it (:mod:`repro.faults`).
+    NODE_FAILURE = "node_failure"
 
 
 @dataclass(frozen=True)

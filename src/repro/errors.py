@@ -107,3 +107,27 @@ class StoreError(ReproError):
 
 class CheckpointError(ReproError):
     """Failure in the checkpoint/restart baseline."""
+
+
+class FaultError(ReproError):
+    """Invalid fault plan or fault-injection request."""
+
+
+class InvariantViolation(ReproError):
+    """A simulation invariant was broken (raised by the test harness).
+
+    Carries the violated invariant's name and the simulation time so a
+    failing property test points straight at the broken rule instead of
+    at a downstream symptom.
+    """
+
+    def __init__(self, invariant: str, time: float, detail: str) -> None:
+        super().__init__(f"[t={time}] invariant {invariant!r} violated: {detail}")
+        self.invariant = invariant
+        self.time = time
+        self.detail = detail
+
+    def __reduce__(self):
+        # Like SimulationTimeout: keep the structured payload across the
+        # pickle round trip pool workers put exceptions through.
+        return (type(self), (self.invariant, self.time, self.detail))

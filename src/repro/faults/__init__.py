@@ -1,0 +1,39 @@
+"""``repro.faults`` — deterministic fault injection.
+
+The cluster the paper simulates never breaks; this package adds the
+missing scenario axis.  A :class:`FaultPlan` (scripted or MTBF-sampled)
+is replayed by a :class:`FaultInjector` as ordinary simulation events:
+nodes crash (``DOWN``), get repaired, are drained by an operator, slow
+down transiently, or the interconnect degrades.  The Slurm controller
+requeues rigid jobs off dead nodes and issues forced-shrink decisions
+(``DecisionReason.NODE_FAILURE``) for flexible ones — the same DMR
+malleability machinery the paper pits against checkpoint/restart, now
+answering node failures ("shrink to survive").
+
+**The graceful-failure window.** A "node failure" here is a node that
+*starts dying* — an MCE storm, a failing PSU, a drain-then-die — not an
+instantaneous vanishing act.  The node goes ``DOWN`` for all new work
+immediately, but a flexible job already on it keeps computing at nominal
+speed until its next reconfiguring point, where the forced shrink
+evacuates it.  That warning window is precisely the premise of
+shrink-to-survive: DMR can exploit it because the runtime has a
+reconfiguration hook; the C/R baseline cannot (its only lever is the
+kill-requeue-restore cycle), which is the asymmetry the ``resilience``
+artifact measures — stated here so nobody mistakes it for an accident
+of the simulation.
+
+Attach a plan to any :class:`repro.api.Session` with
+``session.with_faults(plan)``; the ``resilience`` artifact compares the
+C/R and DMR mechanisms under increasing failure rates.
+"""
+
+from repro.faults.injector import FaultInjector, install_faults
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "install_faults",
+]

@@ -1,0 +1,153 @@
+"""Drives a :class:`~repro.faults.plan.FaultPlan` through the simulation.
+
+The injector is a simulation process: it sleeps to each fault's
+timestamp and applies it through the controller (node failures, repairs,
+drains — so the scheduler reacts and the trace records the event) or the
+machine (performance degradation windows, which the runtime layer reads
+when charging compute and redistribution time).  Everything it does is an
+ordinary simulation event, so fault runs stay fully deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.cluster.node import NodeState
+from repro.errors import ClusterError, FaultError
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.metrics.trace import EventKind
+from repro.sim.events import Event
+from repro.slurm.controller import SlurmController
+
+
+class FaultInjector:
+    """Replays a fault plan against a live controller."""
+
+    def __init__(self, controller: SlurmController, plan: FaultPlan) -> None:
+        self.controller = controller
+        self.machine = controller.machine
+        self.env = controller.env
+        self.plan = plan
+        for event in plan:
+            if event.node is not None and event.node >= self.machine.num_nodes:
+                raise FaultError(
+                    f"fault targets node {event.node}, cluster has "
+                    f"{self.machine.num_nodes}"
+                )
+        #: Counters for tests and the resilience report.
+        self.injected = 0
+        self.skipped = 0
+        #: Window generations: each new degradation window bumps its
+        #: target's counter, so an expiry only restores nominal when no
+        #: newer window superseded it (factors may coincide).
+        self._slow_gen: dict = {}
+        self._net_gen = 0
+
+    def start(self):
+        """Launch the injector process on the environment."""
+        return self.env.process(self._run(), name=f"faults-{self.plan.name}")
+
+    # -- the injection process ----------------------------------------------
+    def _run(self) -> Generator[Event, object, None]:
+        for event in self.plan.events:
+            if event.time > self.env.now:
+                yield self.env.timeout(event.time - self.env.now)
+            self._apply(event)
+
+    def _apply(self, event: FaultEvent) -> None:
+        kind = event.kind
+        applied = True
+        try:
+            if kind is FaultKind.NODE_FAIL:
+                applied = self.controller.fail_node(event.node)
+            elif kind is FaultKind.NODE_RECOVER:
+                self.controller.recover_node(event.node)
+            elif kind is FaultKind.NODE_DRAIN:
+                self.controller.drain_node(event.node)
+            elif kind is FaultKind.NODE_RESUME:
+                self.controller.resume_node(event.node)
+            elif kind is FaultKind.SLOWDOWN:
+                applied = self._start_slowdown(event)
+            elif kind is FaultKind.NETWORK_DEGRADE:
+                self._start_net_degrade(event)
+        except FaultError:
+            raise
+        except ClusterError:
+            # An inapplicable event (e.g. recovering a node that is not
+            # down because a repair raced an operator action) is skipped,
+            # not fatal: fault plans are scripts, not transactions.  Only
+            # ClusterError marks an inapplicable event; anything else —
+            # notably the controller's SchedulerError desync guards —
+            # must stay loud.
+            self.skipped += 1
+            return
+        if applied:
+            self.injected += 1
+        else:
+            self.skipped += 1
+
+    # -- degradation windows -------------------------------------------------
+    #
+    # Windows do not stack: the most recently started window wins, and
+    # its expiry restores the *nominal* factor (1.0).  Each window is
+    # identified by a generation counter, so an earlier window's expiry
+    # while a later one is active is a no-op even when both windows
+    # carry the same factor, and overlaps can never leave a residual
+    # degradation behind.
+
+    def _start_slowdown(self, event: FaultEvent) -> bool:
+        node = self.machine.nodes[event.node]
+        if node.state is NodeState.DOWN:
+            return False
+        generation = self._slow_gen.get(event.node, 0) + 1
+        self._slow_gen[event.node] = generation
+        self.machine.set_perf_factor(event.node, event.factor)
+        self.controller.trace.record(
+            self.env.now,
+            EventKind.NODE_SLOWDOWN,
+            None,
+            node=event.node,
+            factor=event.factor,
+            duration=event.duration,
+        )
+
+        def restore() -> Generator[Event, object, None]:
+            yield self.env.timeout(event.duration)
+            if (
+                node.state is not NodeState.DOWN
+                and self._slow_gen.get(event.node) == generation
+            ):
+                node.perf_factor = 1.0
+
+        self.env.process(restore(), name=f"slowdown-end-{event.node}")
+        return True
+
+    def _start_net_degrade(self, event: FaultEvent) -> None:
+        self._net_gen += 1
+        generation = self._net_gen
+        self.machine.network_factor = event.factor
+        self.controller.trace.record(
+            self.env.now,
+            EventKind.NET_DEGRADE,
+            None,
+            factor=event.factor,
+            duration=event.duration,
+        )
+
+        def restore() -> Generator[Event, object, None]:
+            yield self.env.timeout(event.duration)
+            if self._net_gen == generation:
+                self.machine.network_factor = 1.0
+
+        self.env.process(restore(), name="net-degrade-end")
+
+
+def install_faults(
+    controller: SlurmController, plan: Optional[FaultPlan]
+) -> Optional[FaultInjector]:
+    """Attach (and start) an injector when a plan is present."""
+    if plan is None or not len(plan):
+        return None
+    injector = FaultInjector(controller, plan)
+    injector.start()
+    return injector

@@ -106,7 +106,14 @@ def running_jobs_series(trace: Trace, include_resizers: bool = False) -> StepSer
         if e.kind is EventKind.JOB_START:
             running.add(e.job_id)
             points.append((e.time, float(len(running))))
-        elif e.kind in (EventKind.JOB_END, EventKind.JOB_CANCEL):
+        elif e.kind in (
+            EventKind.JOB_END,
+            EventKind.JOB_CANCEL,
+            # A requeued job is pending again until its restart's
+            # JOB_START (keeps this series identical to the live
+            # TimelineObserver on fault traces).
+            EventKind.JOB_REQUEUE,
+        ):
             if e.job_id in running:
                 running.discard(e.job_id)
                 points.append((e.time, float(len(running))))

@@ -29,6 +29,14 @@ class EventKind(enum.Enum):
     CHECKPOINT_WRITE = "checkpoint_write"
     CHECKPOINT_READ = "checkpoint_read"
     ALLOC_CHANGE = "alloc_change"
+    # Fault-injection vocabulary (:mod:`repro.faults`).
+    NODE_FAIL = "node_fail"
+    NODE_RECOVER = "node_recover"
+    NODE_DRAIN = "node_drain"
+    NODE_RESUME = "node_resume"
+    NODE_SLOWDOWN = "node_slowdown"
+    NET_DEGRADE = "net_degrade"
+    JOB_REQUEUE = "job_requeue"
 
 
 @dataclass(frozen=True)

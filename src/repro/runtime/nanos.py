@@ -19,7 +19,7 @@ from typing import Generator, Optional
 
 from repro.apps.base import AppModel
 from repro.cluster.configs import ClusterConfig
-from repro.core.actions import ResizeAction, ResizeDecision
+from repro.core.actions import DecisionReason, ResizeAction, ResizeDecision
 from repro.core.dmr import DMRSession
 from repro.core.handler import OffloadHandler
 from repro.errors import RuntimeAPIError
@@ -50,6 +50,22 @@ class RuntimeConfig:
     #: a flat block.  Same total round-trip cost; the decision is then
     #: evaluated when the request *arrives* at the RMS (mid round trip).
     use_protocol_channel: bool = False
+    #: Periodic checkpointing for *non-flexible* jobs (the C/R fault
+    #: baseline): every N iterations the application state is written to
+    #: the shared filesystem, and a requeued job restarts from its last
+    #: checkpoint (paying the read) instead of from scratch.  Flexible
+    #: jobs never checkpoint — the DMR mechanism shrinks away from
+    #: failing nodes instead.  None disables checkpointing.
+    checkpoint_period_steps: Optional[int] = None
+    #: Fixed + per-process relaunch cost a requeued job pays at restart
+    #: (srun/prolog/daemon setup; mirrors the Fig. 1 C/R cost model).
+    restart_base: float = 2.0
+    restart_per_process: float = 0.5
+
+
+class _Requeued(Exception):
+    """Internal: this incarnation was requeued at a reconfiguring point
+    (forced-shrink target fell below ``min_procs``); unwind the process."""
 
 
 class NanosRuntime:
@@ -98,20 +114,78 @@ class NanosRuntime:
 
         job, app = self.job, self.app
         malleable = job.is_flexible and app.resize is not None
+        cp_period = None if malleable else self.config.checkpoint_period_steps
 
         try:
+            if job.requeues:
+                yield from self._restart_costs(cp_period)
             while not app.finished:
                 if malleable:
                     yield from self._reconfiguring_point()
                 steps = self._batch_steps()
-                yield self.env.timeout(steps * app.step_time(job.num_nodes))
+                if cp_period:
+                    # Stop each batch at the next checkpoint boundary.
+                    steps = min(
+                        steps, cp_period - app.completed_steps % cp_period
+                    )
+                slowdown = self.controller.machine.slowdown_of(job.job_id)
+                yield self.env.timeout(
+                    steps * app.step_time(job.num_nodes) * slowdown
+                )
                 app.advance(steps)
-        except Interrupt:
-            # Killed by the controller (time limit / cancellation): the
-            # job state was already settled by the killer.
+                if (
+                    cp_period
+                    and not app.finished
+                    and app.completed_steps % cp_period == 0
+                ):
+                    yield from self._checkpoint_write()
+        except (Interrupt, _Requeued):
+            # Killed by the controller (time limit / cancellation /
+            # requeue): the job state was already settled by the killer.
             return
 
         self.controller.finish_job(job, JobState.COMPLETED)
+
+    # -- fault-recovery costs ----------------------------------------------
+    def _restart_costs(
+        self, cp_period: Optional[int]
+    ) -> Generator[Event, object, None]:
+        """Costs a requeued incarnation pays before computing again."""
+        job = self.job
+        relaunch = (
+            self.config.restart_base
+            + self.config.restart_per_process * job.num_nodes
+        )
+        if relaunch > 0:
+            yield self.env.timeout(relaunch)
+        if cp_period and job.checkpoint_steps > 0:
+            read = self.cluster.storage.read_time(
+                self.app.state_bytes, nclients=max(1, job.num_nodes)
+            )
+            if read > 0:
+                yield self.env.timeout(read)
+            self.controller.trace.record(
+                self.env.now,
+                EventKind.CHECKPOINT_READ,
+                job.job_id,
+                steps=job.checkpoint_steps,
+            )
+
+    def _checkpoint_write(self) -> Generator[Event, object, None]:
+        """Write one periodic checkpoint (the C/R baseline's premium)."""
+        job = self.job
+        write = self.cluster.storage.write_time(
+            self.app.state_bytes, nclients=max(1, job.num_nodes)
+        )
+        if write > 0:
+            yield self.env.timeout(write)
+        job.checkpoint_steps = self.app.completed_steps
+        self.controller.trace.record(
+            self.env.now,
+            EventKind.CHECKPOINT_WRITE,
+            job.job_id,
+            steps=self.app.completed_steps,
+        )
 
     def _batch_steps(self) -> int:
         """How many iterations to run before the next reconfiguring point.
@@ -128,7 +202,13 @@ class NanosRuntime:
         period = app.sched_period
         if period <= 0:
             return 1  # a reconfiguring point precedes every iteration
-        step = app.step_time(job.num_nodes)
+        # Batch sizing must use the same (possibly degraded) step price
+        # the run loop charges, or a slowdown would push the next
+        # reconfiguring point — and forced-shrink service — late by the
+        # slowdown factor.
+        step = app.step_time(job.num_nodes) * self.controller.machine.slowdown_of(
+            job.job_id
+        )
         until_next_check = self.session.inhibitor.last_check + period - self.env.now
         if until_next_check <= 0:
             return 1
@@ -145,6 +225,32 @@ class NanosRuntime:
     def _reconfiguring_point(self) -> Generator[Event, object, None]:
         """One ``dmr_check_status``/``dmr_icheck_status`` call site."""
         job = self.job
+        # Node failure: the RMS already decided — evacuate the dying
+        # node(s) now, bypassing the inhibitor and the regular check.
+        forced = self.controller.take_forced(job)
+        if forced is not None:
+            floor = max(
+                1,
+                job.resize_request.min_procs
+                if job.resize_request is not None
+                else 1,
+            )
+            if forced.target_procs < floor:
+                # A policy shrink (or further failures) between issue and
+                # service left nothing to shrink to: this incarnation dies
+                # and the job restarts like a rigid one.
+                self.controller.requeue_job(job, reason="node_failure")
+                raise _Requeued()
+            self.controller.trace.record(
+                self.env.now,
+                EventKind.DMR_CHECK,
+                job.job_id,
+                blocking=False,
+                applied=forced.action.value,
+                forced=True,
+            )
+            yield from self._do_shrink(forced)
+            return
         # Evolving applications may override the request at this step
         # ("Request an Action" mode, Section IV-1).
         request = self.app.request_at(self.app.completed_steps)
@@ -216,6 +322,7 @@ class NanosRuntime:
             self.cluster.network.redistribution_time(
                 plan.bytes_out, plan.bytes_in, messages=max(1, plan.message_count)
             )
+            * self.controller.machine.network_factor
         )
         self.resize_count += 1
         if self.channel is not None:
@@ -251,9 +358,21 @@ class NanosRuntime:
             self.cluster.network.redistribution_time(
                 plan.bytes_out, plan.bytes_in, messages=max(1, plan.message_count)
             )
+            * self.controller.machine.network_factor
         )
+        # A forced (node-failure) shrink must evacuate exactly the DOWN
+        # nodes; a policy shrink releases the usual highest-index victims.
+        # If yet another node died during the evacuation window above,
+        # release only as many dead nodes as this decision covers — the
+        # new failure already queued its own forced decision for the
+        # next reconfiguring point.
+        victims = None
+        if decision.reason is DecisionReason.NODE_FAILURE:
+            victims = self.controller.machine.down_nodes_of(job.job_id)[
+                : old - target
+            ]
         # Only now is it safe for Slurm to kill processes on released nodes.
-        released = shrink_protocol(self.controller, job, target)
+        released = shrink_protocol(self.controller, job, target, victims=victims)
         self.resize_count += 1
         if self.channel is not None:
             self.channel.notify_shrink_acks(job, released)
@@ -273,8 +392,12 @@ def install_runtime_launcher(
 ) -> None:
     """Hook the controller so each started job runs under a NanosRuntime.
 
-    Jobs must carry their :class:`AppModel` in ``job.payload``.
+    Jobs must carry their :class:`AppModel` in ``job.payload``.  Also
+    installs the requeue-restoration hook: a requeued job's application
+    restarts from its last checkpoint when checkpointing is enabled
+    (and the job is not flexible), from scratch otherwise.
     """
+    cfg = config or RuntimeConfig()
 
     def launcher(job: Job) -> None:
         app = job.payload
@@ -282,8 +405,23 @@ def install_runtime_launcher(
             raise RuntimeAPIError(
                 f"job {job.name!r} payload is not an AppModel: {app!r}"
             )
-        runtime = NanosRuntime(controller, job, app, cluster, config)
+        runtime = NanosRuntime(controller, job, app, cluster, cfg)
         process = controller.env.process(runtime.run(), name=f"job-{job.job_id}")
         controller.register_job_process(job, process)
 
+    def restore(job: Job) -> None:
+        app = job.payload
+        if not isinstance(app, AppModel):
+            return
+        fresh = app.fresh_copy()
+        restart_from_checkpoint = (
+            cfg.checkpoint_period_steps
+            and job.checkpoint_steps > 0
+            and not (job.is_flexible and fresh.resize is not None)
+        )
+        if restart_from_checkpoint:
+            fresh.advance(min(job.checkpoint_steps, fresh.iterations))
+        job.payload = fresh
+
     controller.launcher = launcher
+    controller.requeue_restore = restore

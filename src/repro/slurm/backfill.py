@@ -11,9 +11,12 @@ with default settings.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import AbstractSet, List, Sequence, Tuple
 
 from repro.slurm.job import Job
+
+#: Shared empty default for the unreturnable-nodes correction.
+_NO_UNRETURNABLE: AbstractSet[int] = frozenset()
 
 #: How deep into the queue a backfill pass looks (Slurm's
 #: ``bf_max_job_test`` default).
@@ -32,7 +35,7 @@ class Reservation:
     extra_nodes: int
 
 
-def freed_at_end(job: Job) -> int:
+def freed_at_end(job: Job, unreturnable: AbstractSet[int] = _NO_UNRETURNABLE) -> int:
     """Nodes the machine actually gets back when ``job`` ends.
 
     A started job mid-resize holds fewer nodes than ``num_nodes`` claims:
@@ -43,11 +46,18 @@ def freed_at_end(job: Job) -> int:
     computation's ``extra_nodes``, and let phase 2 of the planner park a
     long backfill job on nodes the reservation counted on — delaying the
     reserved head job past its shadow time.
+
+    ``unreturnable`` (the machine's dead-without-repair or
+    operator-drained held nodes) are likewise subtracted: they leave the
+    job's allocation at its end but never rejoin the pool, so counting
+    them would promise the reservation nodes that will not exist.
     """
     if job.start_time is None:
         # Picked to start in this same pass: will be allocated num_nodes.
         return job.num_nodes
-    return len(job.nodes)
+    if not unreturnable:
+        return len(job.nodes)
+    return sum(1 for idx in job.nodes if idx not in unreturnable)
 
 
 def expected_end_of(job: Job, now: float) -> float:
@@ -62,6 +72,7 @@ def compute_shadow(
     running: Sequence[Job],
     now: float,
     presorted: bool = False,
+    unreturnable: AbstractSet[int] = _NO_UNRETURNABLE,
 ) -> Reservation:
     """Find when ``blocked`` can start, assuming jobs end at their limits.
 
@@ -80,7 +91,7 @@ def compute_shadow(
     for job in ends:
         if available >= needed:
             break
-        available += freed_at_end(job)
+        available += freed_at_end(job, unreturnable)
         shadow = expected_end_of(job, now)
     # If even all running jobs ending is not enough the job can never start
     # with the current machine; park the reservation at infinity.
@@ -96,6 +107,7 @@ def plan_backfill(
     now: float,
     max_job_test: int = BF_MAX_JOB_TEST,
     running_presorted: bool = False,
+    unreturnable: AbstractSet[int] = _NO_UNRETURNABLE,
 ) -> Tuple[List[Job], Reservation | None]:
     """Choose which pending jobs to start right now.
 
@@ -128,11 +140,14 @@ def plan_backfill(
         # already-sorted running sequence instead of re-sorting everything.
         effective_running = _merge_by_end(running, starts, now)
         reservation = compute_shadow(
-            blocked, free, effective_running, now, presorted=True
+            blocked, free, effective_running, now, presorted=True,
+            unreturnable=unreturnable,
         )
     else:
         effective_running = list(running) + starts
-        reservation = compute_shadow(blocked, free, effective_running, now)
+        reservation = compute_shadow(
+            blocked, free, effective_running, now, unreturnable=unreturnable
+        )
 
     # Phase 2: backfill strictly-lower-priority jobs around the reservation.
     #

@@ -34,9 +34,10 @@ from __future__ import annotations
 from bisect import bisect_left
 from dataclasses import dataclass, field, replace
 from itertools import count
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.machine import Machine
+from repro.cluster.node import NodeState
 from repro.core.actions import (
     DecisionReason,
     ResizeAction,
@@ -129,6 +130,18 @@ class SlurmController:
         #: Simulation process executing each running job (registered by
         #: the runtime layer; used to deliver time-limit kills).
         self.job_processes: Dict[int, object] = {}
+        #: Forced resize decisions issued by node failures, keyed by job
+        #: id; the runtime services them at the next reconfiguring point.
+        self.forced: Dict[int, ResizeDecision] = {}
+        #: Jobs whose runtime has taken a forced decision and is paying
+        #: the evacuation costs (quiesce/spawn/redistribute) before the
+        #: shrink lands; the invariant harness treats this window as a
+        #: legitimate reason to still hold a DOWN node.
+        self.evacuating: set = set()
+        #: Hook restoring a requeued job's payload (the runtime layer
+        #: installs checkpoint-aware restoration; the default restarts
+        #: the application from scratch via ``payload.fresh_copy()``).
+        self.requeue_restore: Optional[Callable[[Job], None]] = None
         self._pass_scheduled = False
         self._backfill_thread_alive = False
 
@@ -251,6 +264,8 @@ class SlurmController:
         job.end_time = self.env.now
         del self.running[job.job_id]
         self._running_remove(job)
+        self.forced.pop(job.job_id, None)
+        self.evacuating.discard(job.job_id)
         self.finished.append(job)
         self.trace.record(
             self.env.now, EventKind.JOB_END, job.job_id, state=state.value
@@ -284,6 +299,8 @@ class SlurmController:
                 proc.interrupt(cause="scancel")
         else:
             raise SchedulerError(f"job {job.job_id} cannot be cancelled")
+        self.forced.pop(job.job_id, None)
+        self.evacuating.discard(job.job_id)
         self.trace.record(self.env.now, EventKind.JOB_CANCEL, job.job_id)
         self.request_schedule()
 
@@ -437,6 +454,7 @@ class SlurmController:
             self.machine.free_count,
             self.env.now,
             running_presorted=True,
+            unreturnable=self.machine.held_unreturnable,
         )
         started_ids = {job.job_id for job in starts}
         for job in eligible:
@@ -459,6 +477,7 @@ class SlurmController:
             running,
             self.machine.free_count,
             self.env.now,
+            unreturnable=self.machine.held_unreturnable,
         )
         if reservation is not None:
             # compute_shadow sorted every running job (plus this pass's
@@ -624,16 +643,34 @@ class SlurmController:
             added=tuple(node_ids),
         )
 
-    def shrink_job(self, job: Job, new_size: int) -> Tuple[int, ...]:
-        """Shrink a running job to ``new_size`` nodes (single-step update)."""
+    def shrink_job(
+        self,
+        job: Job,
+        new_size: int,
+        victims: Optional[Sequence[int]] = None,
+    ) -> Tuple[int, ...]:
+        """Shrink a running job to ``new_size`` nodes (single-step update).
+
+        ``victims`` pins which nodes are released (the forced-shrink path
+        evacuates exactly the DOWN nodes); by default the highest-indexed
+        nodes go, mirroring Slurm's keep-the-head-node behaviour.
+        """
         if job.job_id not in self.running:
             raise SchedulerError(f"job {job.job_id} is not running")
         if not 1 <= new_size < job.num_nodes:
             raise SchedulerError(
                 f"job {job.job_id}: invalid shrink {job.num_nodes} -> {new_size}"
             )
-        victims = self.machine.shrink_candidates(job.job_id, job.num_nodes - new_size)
+        count_out = job.num_nodes - new_size
+        if victims is None:
+            victims = self.machine.shrink_candidates(job.job_id, count_out)
+        elif len(victims) != count_out:
+            raise SchedulerError(
+                f"job {job.job_id}: shrink to {new_size} must release "
+                f"{count_out} nodes, got victims {tuple(victims)}"
+            )
         released = self.machine.release(job.job_id, victims)
+        self.evacuating.discard(job.job_id)
         job.nodes = self.machine.nodes_of(job.job_id)
         self._rescale_time_limit(job, job.num_nodes, new_size)
         job.record_resize(self.env.now, new_size)
@@ -657,5 +694,199 @@ class SlurmController:
         if time_limit <= 0:
             raise SchedulerError(f"time limit must be positive, got {time_limit}")
         job.time_limit = time_limit
+        # An operator update establishes the job's new baseline limit:
+        # like real Slurm, it survives a requeue (unlike the runtime's
+        # resize rescaling, which is anchored to one incarnation's
+        # elapsed time and must not).
+        job.submitted_time_limit = time_limit
         if job.job_id in self.running:
             self._running_reposition(job)
+
+    # -- node health / fault handling (:mod:`repro.faults`) ------------------
+    def _forced_shrink_serviceable(self, job: Job) -> bool:
+        """Whether the job's runtime will actually service a forced shrink.
+
+        The gate must match the runtime's own reconfiguring-point
+        condition: a job whose application carries no resize support
+        never reaches a reconfiguring point, so parking a forced
+        decision on it would let it compute on a dead node forever.
+        Payload-less jobs (bare-controller tests driving resizes by
+        hand) are trusted.
+        """
+        if not job.is_flexible or job.resize_request is None:
+            return False
+        if job.payload is None:
+            return True
+        return getattr(job.payload, "resize", None) is not None
+
+    def fail_node(self, node_index: int) -> bool:
+        """A node died: take it DOWN and make its holder react.
+
+        * A free node simply leaves the allocatable pool.
+        * A resizer holding the node is cancelled (its expansion aborts).
+        * A rigid job is requeued — it restarts from scratch (or from its
+          last checkpoint when the runtime enables checkpointing).
+        * A flexible job receives a *forced shrink*
+          (:attr:`~repro.core.actions.DecisionReason.NODE_FAILURE`) that
+          its runtime services at the next reconfiguring point, shrinking
+          away from the dying node instead of dying with it — unless the
+          shrink would take it below ``min_procs``, in which case it is
+          requeued like a rigid job.
+
+        Returns False (a no-op, no trace event) when the node is already
+        DOWN — a fault plan may sample the same node twice.
+        """
+        if self.machine.nodes[node_index].state is NodeState.DOWN:
+            return False
+        holder = self.machine.fail_node(node_index)
+        node = self.machine.nodes[node_index]
+        self.trace.record(
+            self.env.now,
+            EventKind.NODE_FAIL,
+            holder,
+            node=node_index,
+            hostname=node.hostname,
+        )
+        if holder is None:
+            return True
+        job = self.running.get(holder)
+        if job is None:  # pragma: no cover - machine/controller desync guard
+            raise SchedulerError(f"node {node_index} held by unknown job {holder}")
+        if job.is_resizer:
+            self.cancel_job(job)
+            return True
+        dead = self.machine.down_nodes_of(job.job_id)
+        target = job.num_nodes - len(dead)
+        request = job.resize_request
+        if (
+            self._forced_shrink_serviceable(job)
+            and target >= max(1, request.min_procs)
+        ):
+            decision = ResizeDecision(
+                ResizeAction.SHRINK, target, DecisionReason.NODE_FAILURE
+            )
+            # A further failure before the pending forced shrink is
+            # serviced *supersedes* it (one shrink will evacuate both
+            # dead nodes): update the decision but record no second
+            # RESIZE_DECISION, so the trace stays one-decision-one-ack
+            # and the forced-shrink counts match actual evacuations.
+            supersedes = job.job_id in self.forced
+            self.forced[job.job_id] = decision
+            if not supersedes:
+                self.trace.record(
+                    self.env.now,
+                    EventKind.RESIZE_DECISION,
+                    job.job_id,
+                    action=decision.action.value,
+                    target=target,
+                    reason=decision.reason.value,
+                    beneficiary=None,
+                )
+        else:
+            self.requeue_job(job, reason="node_failure")
+        return True
+
+    def recover_node(self, node_index: int) -> None:
+        """A node was repaired; it rejoins the pool once unheld."""
+        restored = self.machine.recover_node(node_index)
+        self.trace.record(
+            self.env.now,
+            EventKind.NODE_RECOVER,
+            None,
+            node=node_index,
+            deferred=not restored,
+        )
+        if restored:
+            self.request_schedule()
+
+    def drain_node(self, node_index: int) -> None:
+        """Operator drain: running work finishes, no new work lands."""
+        self.machine.drain_node(node_index)
+        self.trace.record(
+            self.env.now, EventKind.NODE_DRAIN, None, node=node_index
+        )
+
+    def resume_node(self, node_index: int) -> None:
+        """Lift an operator drain."""
+        self.machine.resume_node(node_index)
+        self.trace.record(
+            self.env.now, EventKind.NODE_RESUME, None, node=node_index
+        )
+        self.request_schedule()
+
+    def requeue_job(self, job: Job, reason: str = "node_failure") -> None:
+        """Send a running job back to the pending queue (Slurm requeue).
+
+        The incarnation's process is interrupted, in-flight resizer
+        children are cancelled, held nodes are released (dead ones stay
+        out of the pool), and the job re-enters the queue at its original
+        submit time with its payload restored via :attr:`requeue_restore`
+        (default: restart from scratch).
+        """
+        if job.job_id not in self.running:
+            raise SchedulerError(f"job {job.job_id} is not running")
+        proc = self.job_processes.pop(job.job_id, None)
+        if (
+            proc is not None
+            and getattr(proc, "is_alive", False)
+            and proc is not self.env.active_process
+        ):
+            proc.interrupt(cause="requeue")
+        for other in list(self.pending.values()) + list(self.running.values()):
+            if other.is_resizer and other.parent_id == job.job_id:
+                self.cancel_job(other)
+        if job.nodes:
+            self.machine.release(job.job_id)
+        job.nodes = ()
+        del self.running[job.job_id]
+        self._running_remove(job)
+        self.forced.pop(job.job_id, None)
+        self.evacuating.discard(job.job_id)
+        job.transition(JobState.PENDING)
+        job.start_time = None
+        job.num_nodes = job.submitted_nodes
+        job.time_limit = job.submitted_time_limit
+        job.requeues += 1
+        if self.requeue_restore is not None:
+            self.requeue_restore(job)
+        else:
+            fresh = getattr(job.payload, "fresh_copy", None)
+            if callable(fresh):
+                job.payload = fresh()
+        self.pending[job.job_id] = job
+        if self.queue is not None:
+            self.queue.add(job, self.env.now)
+        self._start_events[job.job_id] = Event(self.env)
+        self.trace.record(
+            self.env.now,
+            EventKind.JOB_REQUEUE,
+            job.job_id,
+            reason=reason,
+            requeues=job.requeues,
+        )
+        self.request_schedule()
+        self._ensure_backfill_thread()
+
+    def take_forced(self, job: Job) -> Optional[ResizeDecision]:
+        """Pop the pending forced decision for ``job``, if any.
+
+        The shrink target is recomputed against the job's *current* DOWN
+        node count: failures and policy shrinks between issue and service
+        can both move it.  The returned target may therefore have fallen
+        below ``min_procs`` (e.g. a policy shrink released the healthy
+        nodes first) — the caller must requeue the job instead of
+        shrinking when that happens (``NanosRuntime`` does).
+        """
+        decision = self.forced.pop(job.job_id, None)
+        if decision is None:
+            return None
+        dead = self.machine.down_nodes_of(job.job_id)
+        if not dead:  # pragma: no cover - defensive; cannot heal while held
+            return None
+        target = job.num_nodes - len(dead)
+        if target != decision.target_procs:
+            decision = ResizeDecision(
+                ResizeAction.SHRINK, target, DecisionReason.NODE_FAILURE
+            )
+        self.evacuating.add(job.job_id)
+        return decision

@@ -37,6 +37,8 @@ _TRANSITIONS = {
         JobState.CANCELLED,
         JobState.FAILED,
         JobState.TIMEOUT,
+        # Requeue-on-node-failure: back to the pending queue.
+        JobState.PENDING,
     },
     JobState.COMPLETING: {JobState.COMPLETED},
     JobState.COMPLETED: set(),
@@ -103,6 +105,16 @@ class Job:
     resizes: List[Tuple[float, int, int]] = field(default_factory=list)
     #: Node count the job was originally submitted with.
     submitted_nodes: int = field(default=-1)
+    #: Walltime limit the job was submitted with.  Resizes rescale
+    #: ``time_limit``; a requeue restores this original value so the
+    #: fresh full-width incarnation is not scheduled against a limit
+    #: anchored to a dead incarnation's elapsed time.
+    submitted_time_limit: float = field(default=-1.0)
+    #: How many times the job was requeued (node failures).
+    requeues: int = 0
+    #: Application progress captured by the job's last checkpoint write;
+    #: a requeued job restarts from here when checkpointing is enabled.
+    checkpoint_steps: int = 0
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -111,6 +123,8 @@ class Job:
             raise JobStateError(f"time_limit must be positive, got {self.time_limit}")
         if self.submitted_nodes < 0:
             self.submitted_nodes = self.num_nodes
+        if self.submitted_time_limit < 0:
+            self.submitted_time_limit = self.time_limit
         if self.is_flexible and self.resize_request is None:
             raise JobStateError(f"flexible job {self.name!r} needs a resize_request")
 

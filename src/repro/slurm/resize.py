@@ -54,9 +54,11 @@ def expand_protocol(
     deadline = env.timeout(timeout)
     yield env.any_of([started, deadline])
 
-    if not started.triggered:
-        # The scheduler gave the nodes to someone else: abort the action.
-        controller.cancel_job(resizer)
+    if not started.triggered or resizer.job_id not in controller.running:
+        # The scheduler gave the nodes to someone else — or a node failure
+        # killed the resizer between its start and this resumption: abort.
+        if not resizer.is_terminal:
+            controller.cancel_job(resizer)
         controller.trace.record(
             env.now,
             EventKind.RESIZE_ABORT,
@@ -76,10 +78,12 @@ def shrink_protocol(
     controller: SlurmController,
     job: Job,
     target_nodes: int,
+    victims: Optional[Tuple[int, ...]] = None,
 ) -> Tuple[int, ...]:
     """Shrink ``job`` to ``target_nodes``; returns the released node ids.
 
     Callers must have quiesced the outgoing ranks first (offload tasks
-    complete, ACKs gathered) — the runtime layer does this.
+    complete, ACKs gathered) — the runtime layer does this.  ``victims``
+    pins the released nodes (forced shrinks evacuate the DOWN ones).
     """
-    return controller.shrink_job(job, target_nodes)
+    return controller.shrink_job(job, target_nodes, victims=victims)

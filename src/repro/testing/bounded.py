@@ -1,0 +1,67 @@
+"""Deterministic bounded execution for tests.
+
+``env.run(until=...)`` trusts the event schedule: a wedged process that
+keeps rescheduling itself (or a scheduler loop that stops making
+progress) spins the test — and CI — forever.  :func:`run_bounded` drives
+the environment with an explicit event budget and raises
+:class:`WedgedSimulation` the moment the budget is exhausted, so a hang
+becomes a crisp failure with the simulation state in the message.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import EmptySchedule, Environment
+
+#: Default per-call event budget; generous for unit-scale simulations
+#: (the whole fig3 experiment processes a few thousand events).
+DEFAULT_MAX_EVENTS = 200_000
+
+
+class WedgedSimulation(SimulationError):
+    """A bounded run exhausted its event budget without finishing."""
+
+
+def run_bounded(
+    env: Environment,
+    until: Optional[float] = None,
+    max_events: int = DEFAULT_MAX_EVENTS,
+) -> None:
+    """Run ``env`` like ``env.run(until=...)`` under an event budget.
+
+    With ``until=None`` the schedule must drain within ``max_events``
+    events; with a numeric horizon, all events up to (and including) the
+    horizon's timestamp are processed and the clock then advances to the
+    horizon, exactly like ``env.run(until=...)`` — except that same-time
+    events scheduled *at* the horizon are processed rather than cut off
+    mid-timestamp, which is what the deterministic join semantics of the
+    backfill-thread tests need.
+    """
+    if max_events < 1:
+        raise SimulationError(f"max_events must be >= 1, got {max_events}")
+    start = env.events_processed
+
+    def check_budget() -> None:
+        if env.events_processed - start > max_events:
+            raise WedgedSimulation(
+                f"simulation still busy after {max_events} events "
+                f"(t={env.now}); a process is likely wedged"
+            )
+
+    if until is None:
+        while True:
+            try:
+                env.step()
+            except EmptySchedule:
+                return
+            check_budget()
+        return
+    horizon = float(until)
+    if horizon < env.now:
+        raise SimulationError(f"until={horizon} lies in the past (now={env.now})")
+    while env.peek() <= horizon:
+        env.step()
+        check_budget()
+    env.run(until=horizon)

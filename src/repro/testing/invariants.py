@@ -1,0 +1,325 @@
+"""Online invariant checking for simulation runs.
+
+The :class:`InvariantObserver` is a :class:`~repro.api.observers.SessionObserver`
+that validates, on every trace event, the rules the simulator must never
+break — no matter which workload, policy, scheduler mode or fault plan is
+running:
+
+* **monotonic-time** — trace events never go backwards in time;
+* **no-double-allocation** — a node is never granted to two jobs at once
+  (checked both from the event stream and against the machine);
+* **conservation** — free + unavailable + allocated node counts always
+  sum to the cluster size, and per-node ownership matches the allocation
+  map;
+* **no-start-on-down** — jobs start (and expand) only onto nodes that
+  are actually allocated to them and not DOWN;
+* **failure-handling** — when a held node fails, its job must react at
+  that timestamp: a rigid job is requeued, a flexible job either carries
+  a forced-shrink decision until it evacuates or is requeued;
+* **decision/ack pairing** — every observed expand/shrink was authorized
+  by a prior, unconsumed ``RESIZE_DECISION`` with the matching action.
+
+A violation raises :class:`~repro.errors.InvariantViolation` immediately,
+inside the simulation step that broke the rule, so the failing test
+points at the cause rather than a downstream symptom.
+
+Attach one to any session (``session.observe(InvariantObserver())``), or
+rely on the shared pytest fixture (:mod:`repro.testing.pytest_plugin`)
+that wires one into every :meth:`repro.api.Session.build` in the suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.api.observers import SessionObserver
+from repro.cluster.node import NodeState
+from repro.errors import InvariantViolation
+from repro.metrics.trace import EventKind, TraceEvent
+
+#: Resize-decision actions that arm the pairing check.
+_ACTIONABLE = ("expand", "shrink")
+
+
+class InvariantObserver(SessionObserver):
+    """Checks simulation invariants live, from the trace event stream."""
+
+    def __init__(self, controller=None) -> None:
+        self._controller = controller
+        self._last_time = float("-inf")
+        #: node index -> owning job id, reconstructed from events.
+        self._owner: Dict[int, int] = {}
+        #: job id -> unconsumed decision actions ("expand"/"shrink"); a
+        #: list because a node failure can supersede an in-flight
+        #: expansion's decision before the expansion completes.
+        self._decisions: Dict[int, List[str]] = {}
+        #: (fail_time, node, holder) failures awaiting a reaction.
+        self._open_failures: List[Tuple[float, int, int]] = []
+        self._resizer_ids: Set[int] = set()
+        #: Number of per-event check passes executed.
+        self.checks = 0
+
+    # -- wiring --------------------------------------------------------------
+    def on_attach(self, controller) -> None:
+        self._controller = controller
+
+    @property
+    def machine(self):
+        return self._controller.machine if self._controller else None
+
+    # -- the event hook -----------------------------------------------------
+    def on_event(self, event: TraceEvent) -> None:
+        self.checks += 1
+        self._check_monotonic(event)
+        if event.time > self._last_time:
+            self._settle_failures(event)
+        self._last_time = event.time
+
+        kind = event.kind
+        if kind is EventKind.JOB_SUBMIT:
+            if event.data.get("resizer"):
+                self._resizer_ids.add(event.job_id)
+        elif kind is EventKind.JOB_START:
+            self._on_start(event)
+        elif kind is EventKind.RESIZE_EXPAND:
+            self._consume_decision(event, "expand")
+            self._on_grow(event, event.data.get("added", ()))
+        elif kind is EventKind.RESIZE_SHRINK:
+            self._consume_decision(event, "shrink")
+            self._on_release(event, event.data.get("released", ()))
+        elif kind is EventKind.RESIZE_ABORT:
+            # Only expansions can abort; remove by value so a parked
+            # forced-shrink decision is never consumed by mistake.
+            pending = self._decisions.get(event.job_id)
+            if pending and "expand" in pending:
+                pending.remove("expand")
+        elif kind is EventKind.RESIZE_DECISION:
+            if event.data.get("action") in _ACTIONABLE:
+                self._decisions.setdefault(event.job_id, []).append(
+                    event.data["action"]
+                )
+        elif kind in (
+            EventKind.JOB_END,
+            EventKind.JOB_CANCEL,
+            EventKind.JOB_REQUEUE,
+        ):
+            self._on_job_gone(event)
+        elif kind is EventKind.NODE_FAIL:
+            if event.job_id is not None:
+                self._open_failures.append(
+                    (event.time, event.data["node"], event.job_id)
+                )
+        if kind is not EventKind.ALLOC_CHANGE:
+            self._check_machine(event)
+
+    # -- individual invariants ----------------------------------------------
+    def _fail(self, invariant: str, event: TraceEvent, detail: str) -> None:
+        raise InvariantViolation(invariant, event.time, detail)
+
+    def _check_monotonic(self, event: TraceEvent) -> None:
+        if event.time < self._last_time:
+            self._fail(
+                "monotonic-time",
+                event,
+                f"{event.kind.value} at {event.time} after t={self._last_time}",
+            )
+
+    def _on_start(self, event: TraceEvent) -> None:
+        node_ids = event.data.get("node_ids", ())
+        for idx in node_ids:
+            holder = self._owner.get(idx)
+            if holder is not None and holder != event.job_id:
+                self._fail(
+                    "no-double-allocation",
+                    event,
+                    f"job {event.job_id} started on node {idx} "
+                    f"already owned by job {holder}",
+                )
+            self._owner[idx] = event.job_id
+        machine = self.machine
+        if machine is not None:
+            for idx in node_ids:
+                node = machine.nodes[idx]
+                if node.state is NodeState.DOWN:
+                    self._fail(
+                        "no-start-on-down",
+                        event,
+                        f"job {event.job_id} started on DOWN node {idx}",
+                    )
+                if node.job_id != event.job_id:
+                    self._fail(
+                        "no-double-allocation",
+                        event,
+                        f"node {idx} records owner {node.job_id}, "
+                        f"start said {event.job_id}",
+                    )
+
+    def _on_grow(self, event: TraceEvent, added) -> None:
+        for idx in added:
+            holder = self._owner.get(idx)
+            if holder is not None and holder != event.job_id:
+                self._fail(
+                    "no-double-allocation",
+                    event,
+                    f"job {event.job_id} expanded onto node {idx} "
+                    f"owned by job {holder}",
+                )
+            self._owner[idx] = event.job_id
+        machine = self.machine
+        if machine is not None:
+            for idx in added:
+                if machine.nodes[idx].state is NodeState.DOWN:
+                    self._fail(
+                        "no-start-on-down",
+                        event,
+                        f"job {event.job_id} expanded onto DOWN node {idx}",
+                    )
+
+    def _on_release(self, event: TraceEvent, released) -> None:
+        for idx in released:
+            holder = self._owner.pop(idx, None)
+            if holder is not None and holder != event.job_id:
+                self._fail(
+                    "no-double-allocation",
+                    event,
+                    f"job {event.job_id} released node {idx} "
+                    f"owned by job {holder}",
+                )
+
+    def _on_job_gone(self, event: TraceEvent) -> None:
+        job_id = event.job_id
+        self._owner = {
+            idx: owner for idx, owner in self._owner.items() if owner != job_id
+        }
+        # Unconsumed decisions die with the incarnation (a requeued job's
+        # in-flight resize was interrupted and will never be acked).
+        self._decisions.pop(job_id, None)
+        self._open_failures = [
+            entry for entry in self._open_failures if entry[2] != job_id
+        ]
+
+    def _consume_decision(self, event: TraceEvent, action: str) -> None:
+        if event.job_id in self._resizer_ids:
+            return
+        pending = self._decisions.get(event.job_id)
+        if pending and action in pending:
+            pending.remove(action)
+            return
+        self._fail(
+            "decision-ack-pairing",
+            event,
+            f"{action} of job {event.job_id} without a matching unconsumed "
+            f"RESIZE_DECISION (pending: {pending or []})",
+        )
+
+    def _settle_failures(self, event: TraceEvent) -> None:
+        """Failures must be reacted to before simulation time advances."""
+        if not self._open_failures or self._controller is None:
+            return
+        controller, machine = self._controller, self.machine
+        still_open: List[Tuple[float, int, int]] = []
+        for fail_time, idx, holder in self._open_failures:
+            node = machine.nodes[idx]
+            if node.job_id != holder or node.state is not NodeState.DOWN:
+                continue  # evacuated, released, or repaired
+            job = controller.running.get(holder)
+            if job is None:
+                continue  # requeued or finished
+            forced = (
+                holder in controller.forced or holder in controller.evacuating
+            )
+            if not job.is_flexible and not forced:
+                self._fail(
+                    "failure-handling",
+                    event,
+                    f"rigid job {holder} still holds DOWN node {idx} "
+                    f"after the failure at t={fail_time}",
+                )
+            if job.is_flexible and not forced:
+                self._fail(
+                    "failure-handling",
+                    event,
+                    f"flexible job {holder} holds DOWN node {idx} with no "
+                    f"forced-shrink decision pending",
+                )
+            still_open.append((fail_time, idx, holder))
+        self._open_failures = still_open
+
+    def _check_machine(self, event: TraceEvent) -> None:
+        """Ground-truth conservation scan against the live machine."""
+        machine = self.machine
+        if machine is None:
+            return
+        jobs = machine.jobs()
+        allocated = 0
+        for job_id in jobs:
+            owned = machine.nodes_of(job_id)
+            allocated += len(owned)
+            for idx in owned:
+                if machine.nodes[idx].job_id != job_id:
+                    self._fail(
+                        "conservation",
+                        event,
+                        f"node {idx} is mapped to job {job_id} but records "
+                        f"owner {machine.nodes[idx].job_id}",
+                    )
+        if allocated != machine.used_count:
+            self._fail(
+                "conservation",
+                event,
+                f"allocation map holds {allocated} nodes, "
+                f"used_count says {machine.used_count}",
+            )
+        # Conservation over the actual sets (used_count is *defined* as
+        # total - free - unavailable, so comparing derived counts would
+        # be a tautology): the free and unavailable pools must be
+        # disjoint, every free node IDLE, and pools + allocations must
+        # tile the cluster exactly.
+        free, unavailable = machine._free, machine._unavailable
+        overlap = free & unavailable
+        if overlap:
+            self._fail(
+                "conservation",
+                event,
+                f"nodes {sorted(overlap)} are in both the free and the "
+                f"unavailable pool",
+            )
+        if len(free) + len(unavailable) + allocated != machine.num_nodes:
+            self._fail(
+                "conservation",
+                event,
+                f"free({len(free)}) + unavailable({len(unavailable)}) + "
+                f"allocated({allocated}) != {machine.num_nodes} nodes",
+            )
+        for idx in free:
+            if machine.nodes[idx].state is not NodeState.IDLE:
+                self._fail(
+                    "conservation",
+                    event,
+                    f"node {idx} is in the free pool but is "
+                    f"{machine.nodes[idx].state.value}",
+                )
+
+    # -- post-run -----------------------------------------------------------
+    def verify_final(self) -> int:
+        """Final sweep after a run: no unresolved failure reactions.
+
+        Returns the number of per-event check passes executed, so callers
+        can assert the observer actually saw the run.
+        """
+        if self._controller is not None:
+            machine = self.machine
+            for _, idx, holder in self._open_failures:
+                node = machine.nodes[idx]
+                if node.job_id == holder and node.state is NodeState.DOWN:
+                    if (
+                        holder not in self._controller.forced
+                        and holder not in self._controller.evacuating
+                    ):
+                        raise InvariantViolation(
+                            "failure-handling",
+                            self._last_time,
+                            f"job {holder} ended the run holding DOWN node "
+                            f"{idx} with no forced decision pending",
+                        )
+        return self.checks

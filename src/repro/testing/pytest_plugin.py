@@ -1,0 +1,56 @@
+"""Pytest plugin wiring invariant checks into every Session-built run.
+
+Loaded by the repository's root ``conftest.py`` (``pytest_plugins``), so
+every tier-1 test and benchmark that assembles a simulation through
+:meth:`repro.api.Session.build` gets a live
+:class:`~repro.testing.invariants.InvariantObserver` for free — the
+experiment drivers, CLI tests, sweep cells (in-process ones) and
+benchmarks are all invariant-checked on every run without any of them
+knowing.
+
+Opt out per-test with the ``no_invariants`` marker, for the rare test
+that intentionally drives the simulation into an illegal state::
+
+    @pytest.mark.no_invariants
+    def test_breaks_things_on_purpose(): ...
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "no_invariants: disable the automatic InvariantObserver wiring "
+        "for this test (it intentionally violates a simulation invariant)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _invariant_checked_sessions(request, monkeypatch):
+    """Append an InvariantObserver to every Session.build in the test."""
+    if request.node.get_closest_marker("no_invariants"):
+        yield
+        return
+    from repro.api.session import Session
+    from repro.testing.invariants import InvariantObserver
+
+    original_build = Session.build
+    observers = []
+
+    def checked_build(self, extra_observers=()):
+        observer = InvariantObserver()
+        observers.append(observer)
+        return original_build(
+            self, extra_observers=tuple(extra_observers) + (observer,)
+        )
+
+    monkeypatch.setattr(Session, "build", checked_build)
+    yield
+    # End-of-run sweep: last-timestamp failures have no later event to
+    # trigger the online check, so verify them at teardown (raises
+    # InvariantViolation, failing the test).
+    for observer in observers:
+        observer.verify_final()

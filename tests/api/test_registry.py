@@ -200,6 +200,7 @@ class TestBuiltinRegistry:
     EXPECTED = {f"fig{i}" for i in (1, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12)} | {
         "table2",
         "scalability",
+        "resilience",
     }
 
     def test_covers_every_eval_artifact(self):
@@ -208,7 +209,9 @@ class TestBuiltinRegistry:
     def test_csv_support_set(self):
         reg = builtin_registry()
         with_csv = {n for n in reg.names() if reg.get(n).supports_csv}
-        assert with_csv == {"fig1", "fig3", "fig7", "fig8", "fig9", "table2"}
+        assert with_csv == {
+            "fig1", "fig3", "fig7", "fig8", "fig9", "table2", "resilience",
+        }
 
     def test_every_artifact_is_described(self):
         reg = builtin_registry()

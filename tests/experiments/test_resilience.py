@@ -1,0 +1,75 @@
+"""The resilience artifact: C/R vs DMR under node failures."""
+
+import pytest
+
+from repro.experiments.resilience import (
+    RESILIENCE_QUICK_MTBFS,
+    ResilienceResult,
+    run_resilience_quick,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_result() -> ResilienceResult:
+    return run_resilience_quick()
+
+
+class TestResilienceQuick:
+    def test_fault_free_baselines_complete_everything(self, quick_result):
+        for mechanism in ("cr", "dmr"):
+            row = quick_result.row(None, mechanism)
+            assert row.work_fraction == pytest.approx(1.0)
+            assert row.drained
+            assert row.failures == 0
+
+    def test_dmr_completes_strictly_more_work_under_failures(self, quick_result):
+        """The acceptance bar: shrink-to-survive beats rollback-restart."""
+        mtbf = min(RESILIENCE_QUICK_MTBFS)
+        cr = quick_result.row(mtbf, "cr")
+        dmr = quick_result.row(mtbf, "dmr")
+        assert cr.failures > 0  # the plan actually bit
+        assert dmr.completed_work > cr.completed_work
+
+    def test_mechanisms_saw_the_same_failures(self, quick_result):
+        mtbf = min(RESILIENCE_QUICK_MTBFS)
+        assert (
+            quick_result.row(mtbf, "cr").failures
+            == quick_result.row(mtbf, "dmr").failures
+        )
+
+    def test_mechanism_signatures(self, quick_result):
+        """C/R answers failures with requeues + checkpoints, DMR with
+        forced shrinks and neither of the others."""
+        mtbf = min(RESILIENCE_QUICK_MTBFS)
+        cr = quick_result.row(mtbf, "cr")
+        dmr = quick_result.row(mtbf, "dmr")
+        assert cr.requeues > 0
+        assert cr.checkpoint_writes > 0
+        assert cr.forced_shrinks == 0
+        assert dmr.forced_shrinks > 0
+        assert dmr.checkpoint_writes == 0
+
+    def test_every_run_was_invariant_checked(self, quick_result):
+        assert quick_result.invariant_checks > 0
+
+    def test_renderings(self, quick_result):
+        table = quick_result.as_table()
+        assert "Resilience" in table and "DMR" in table
+        csv = quick_result.as_csv()
+        header = csv.splitlines()[0]
+        assert "work_fraction" in header and "forced_shrinks" in header
+        # One CSV row per (baseline + MTBF) x mechanism.
+        expected = 2 * (1 + len(RESILIENCE_QUICK_MTBFS))
+        assert len(csv.strip().splitlines()) == 1 + expected
+
+    def test_row_lookup_raises_for_unknown_cell(self, quick_result):
+        with pytest.raises(KeyError):
+            quick_result.row(123.0, "cr")
+
+
+def test_resilience_artifact_registered():
+    from repro.api import builtin_registry
+
+    registry = builtin_registry()
+    assert "resilience" in registry
+    assert registry.get("resilience").supports_csv

@@ -1,0 +1,508 @@
+"""Fault injection through a live simulation: node health transitions,
+requeue-on-failure, forced shrinks, degradation windows."""
+
+import pytest
+
+from repro.apps import flexible_sleep
+from repro.cluster import ClusterConfig
+from repro.cluster.node import NodeHealth, NodeState
+from repro.core import ResizeAction, ResizeRequest
+from repro.core.actions import DecisionReason
+from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultPlan
+from repro.metrics import EventKind
+from repro.runtime import RuntimeConfig, install_runtime_launcher
+from repro.sim import Environment
+from repro.slurm import Job, JobClass, JobState, SlurmConfig, SlurmController
+
+
+def setup(nodes=8, runtime=None, **slurm_kw):
+    env = Environment()
+    cluster = ClusterConfig(num_nodes=nodes)
+    machine = cluster.build_machine()
+    ctl = SlurmController(env, machine, config=SlurmConfig(**slurm_kw))
+    install_runtime_launcher(ctl, cluster, runtime)
+    return env, cluster, machine, ctl
+
+
+def app_of(steps=4, step_time=10.0, at=4, **kw):
+    return flexible_sleep(step_time=step_time, at_procs=at, steps=steps, **kw)
+
+
+def rigid_job(nodes, steps=4, limit=10_000.0, name="r"):
+    return Job(name=name, num_nodes=nodes, time_limit=limit,
+               payload=app_of(steps=steps, at=nodes))
+
+
+def flex_job(nodes, steps=6, limit=10_000.0, name="f", min_procs=1, max_procs=8):
+    app = app_of(steps=steps, at=nodes, min_procs=min_procs, max_procs=max_procs)
+    return Job(
+        name=name,
+        num_nodes=nodes,
+        time_limit=limit,
+        job_class=JobClass.MALLEABLE,
+        resize_request=app.resize,
+        payload=app,
+    )
+
+
+def inject(ctl, *events):
+    injector = FaultInjector(ctl, FaultPlan.scripted(events))
+    injector.start()
+    return injector
+
+
+class TestNodeHealth:
+    def test_free_node_failure_leaves_pool(self):
+        env, _, machine, ctl = setup(nodes=8)
+        inject(ctl, FaultEvent(time=1.0, kind=FaultKind.NODE_FAIL, node=7))
+        env.run(until=2.0)
+        assert machine.nodes[7].state is NodeState.DOWN
+        assert machine.nodes[7].health is NodeHealth.DOWN
+        assert machine.free_count == 7
+        assert machine.unavailable_count == 1
+        assert machine.alive_count == 7
+
+    def test_recovery_returns_node_to_pool(self):
+        env, _, machine, ctl = setup(nodes=8)
+        inject(
+            ctl,
+            FaultEvent(time=1.0, kind=FaultKind.NODE_FAIL, node=7),
+            FaultEvent(time=5.0, kind=FaultKind.NODE_RECOVER, node=7),
+        )
+        env.run(until=6.0)
+        assert machine.nodes[7].state is NodeState.IDLE
+        assert machine.free_count == 8
+
+    def test_down_node_never_allocated(self):
+        env, _, machine, ctl = setup(nodes=4)
+        inject(ctl, FaultEvent(time=1.0, kind=FaultKind.NODE_FAIL, node=0))
+        env.run(until=2.0)
+        job = ctl.submit(rigid_job(3))
+        env.run(until=3.0)
+        assert job.is_running
+        assert 0 not in job.nodes
+
+    def test_drain_and_resume(self):
+        env, _, machine, ctl = setup(nodes=4)
+        inject(
+            ctl,
+            FaultEvent(time=1.0, kind=FaultKind.NODE_DRAIN, node=3),
+            FaultEvent(time=5.0, kind=FaultKind.NODE_RESUME, node=3),
+        )
+        env.run(until=2.0)
+        assert machine.nodes[3].health is NodeHealth.DRAIN
+        assert machine.free_count == 3
+        env.run(until=6.0)
+        assert machine.free_count == 4
+
+    def test_drained_allocated_node_parks_after_release(self):
+        env, _, machine, ctl = setup(nodes=4)
+        job = ctl.submit(rigid_job(4, steps=2))
+        env.run(until=1.0)
+        ctl.drain_node(3)
+        assert machine.nodes[3].state is NodeState.DRAINING
+        env.run()
+        assert job.state is JobState.COMPLETED
+        # The drained node did not return to the pool with the others.
+        assert machine.free_count == 3
+        assert machine.nodes[3].job_id is None
+        ctl.resume_node(3)
+        assert machine.free_count == 4
+
+
+class TestRigidRequeue:
+    def test_rigid_job_requeued_and_restarts_from_scratch(self):
+        env, _, machine, ctl = setup(nodes=4)
+        job = ctl.submit(rigid_job(4, steps=4))  # 40 s of work
+        inject(ctl, FaultEvent(time=15.0, kind=FaultKind.NODE_FAIL, node=0))
+        env.run(until=16.0)
+        assert job.state is JobState.PENDING
+        assert job.requeues == 1
+        # Only 3 nodes remain: a 4-node rigid job cannot restart yet.
+        assert machine.free_count == 3
+        ctl.recover_node(0)
+        env.run()
+        assert job.state is JobState.COMPLETED
+        requeue_events = ctl.trace.of_kind(EventKind.JOB_REQUEUE)
+        assert len(requeue_events) == 1
+        assert requeue_events[0].data["reason"] == "node_failure"
+        # From-scratch restart: ~16 s wasted + full 40 s re-run.
+        assert job.end_time > 40.0 + 15.0
+
+    def test_requeued_job_restarts_from_checkpoint(self):
+        env, _, machine, ctl = setup(
+            nodes=4, runtime=RuntimeConfig(checkpoint_period_steps=2)
+        )
+        job = ctl.submit(rigid_job(4, steps=6))
+        inject(
+            ctl,
+            FaultEvent(time=35.0, kind=FaultKind.NODE_FAIL, node=0),
+            FaultEvent(time=36.0, kind=FaultKind.NODE_RECOVER, node=0),
+        )
+        env.run()
+        assert job.state is JobState.COMPLETED
+        writes = ctl.trace.of_kind(EventKind.CHECKPOINT_WRITE)
+        reads = ctl.trace.of_kind(EventKind.CHECKPOINT_READ)
+        assert writes and reads
+        # The restart resumed past the checkpointed steps.
+        assert reads[0].data["steps"] >= 2
+
+    def test_requeue_restores_submitted_time_limit(self):
+        """Regression: a job that shrank (limit rescaled and anchored to
+        the dead incarnation's elapsed time) must requeue with its
+        original submitted walltime limit."""
+        env, _, machine, ctl = setup(nodes=4)
+        job = ctl.submit(flex_job(4, steps=8, max_procs=4, limit=100.0))
+        env.run(until=1.0)
+        ctl.shrink_job(job, 2)  # rescales time_limit upward
+        assert job.time_limit > 100.0
+        ctl.requeue_job(job)
+        assert job.time_limit == 100.0
+        assert job.num_nodes == 4
+
+    def test_operator_time_limit_update_survives_requeue(self):
+        """An scontrol-style limit update is the job's new baseline and,
+        like in real Slurm, persists across a requeue (only the runtime's
+        per-incarnation resize rescaling reverts)."""
+        env, _, machine, ctl = setup(nodes=4)
+        job = ctl.submit(rigid_job(4, steps=8, limit=100.0))
+        env.run(until=1.0)
+        ctl.update_time_limit(job, 5000.0)
+        ctl.requeue_job(job)
+        assert job.time_limit == 5000.0
+
+    def test_flexible_job_with_non_resizable_app_requeues(self):
+        """Regression: a forced shrink must only be issued when a runtime
+        will actually service it.  A MALLEABLE job whose payload app has
+        no resize support never reaches a reconfiguring point (a custom
+        launcher is needed to even start it — NanosRuntime refuses), so
+        the controller must requeue it instead of parking a forced
+        decision it would hold forever."""
+        from repro.apps import AppModel, LinearScalability
+        from repro.cluster import Machine
+        from repro.sim import Environment
+        from repro.slurm import SlurmController
+
+        env = Environment()
+        machine = Machine(4)
+        ctl = SlurmController(env, machine)
+        app = AppModel(name="norsz", iterations=4, serial_step_time=40.0,
+                       state_bytes=0.0, scalability=LinearScalability())
+        job = ctl.submit(
+            Job(name="f", num_nodes=4, time_limit=10_000.0,
+                job_class=JobClass.MALLEABLE,
+                resize_request=ResizeRequest(min_procs=1, max_procs=4),
+                payload=app)
+        )
+        env.run(until=1.0)
+        assert job.is_running
+        ctl.fail_node(0)
+        assert job.requeues == 1
+        assert ctl.forced == {}
+
+    def test_failure_on_free_node_leaves_jobs_alone(self):
+        env, _, machine, ctl = setup(nodes=8)
+        job = ctl.submit(rigid_job(4, steps=2))
+        inject(ctl, FaultEvent(time=5.0, kind=FaultKind.NODE_FAIL, node=7))
+        env.run()
+        assert job.state is JobState.COMPLETED
+        assert job.requeues == 0
+
+
+class TestForcedShrink:
+    def test_flexible_job_shrinks_away_from_dead_node(self):
+        env, _, machine, ctl = setup(nodes=4)
+        job = ctl.submit(flex_job(4, steps=6))
+        inject(ctl, FaultEvent(time=15.0, kind=FaultKind.NODE_FAIL, node=2))
+        env.run(until=15.5)
+        # Decision issued, not yet serviced: the job still holds node 2.
+        assert ctl.forced.get(job.job_id) is not None
+        decision = ctl.forced[job.job_id]
+        assert decision.action is ResizeAction.SHRINK
+        assert decision.reason is DecisionReason.NODE_FAILURE
+        assert 2 in job.nodes
+        env.run()
+        assert job.state is JobState.COMPLETED
+        assert job.requeues == 0
+        # The shrink evacuated exactly the dead node.
+        shrinks = ctl.trace.of_kind(EventKind.RESIZE_SHRINK)
+        assert len(shrinks) == 1
+        assert shrinks[0].data["released"] == (2,)
+        assert machine.nodes[2].state is NodeState.DOWN
+        assert machine.nodes[2].job_id is None
+
+    def test_flexible_at_min_size_requeued_instead(self):
+        env, _, machine, ctl = setup(nodes=4)
+        # min == max == 2: the job can neither expand nor shrink, so a
+        # node death leaves requeueing as the only answer.
+        job = ctl.submit(flex_job(2, steps=6, min_procs=2, max_procs=2))
+        inject(ctl, FaultEvent(time=15.0, kind=FaultKind.NODE_FAIL, node=0))
+        env.run(until=16.0)
+        # Requeued (not shrunk) — and immediately restarted on the
+        # surviving nodes, since two of the three alive ones were free.
+        assert job.requeues == 1
+        assert ctl.forced == {}
+        assert 0 not in job.nodes
+        env.run()
+        assert job.state is JobState.COMPLETED
+
+    def test_policy_shrink_racing_forced_shrink_requeues(self):
+        """Regression: a policy shrink landing between forced-issue and
+        forced-service can strip the healthy nodes and leave the job with
+        only its dead node; servicing must requeue, not shrink to 0."""
+        env, _, machine, ctl = setup(nodes=3)
+        job = ctl.submit(flex_job(2, steps=8, min_procs=1, max_procs=2))
+        env.run(until=1.0)
+        assert job.is_running and job.num_nodes == 2
+        # Node 0 dies: forced shrink to 1 queued for the next point.
+        ctl.fail_node(0)
+        assert ctl.forced[job.job_id].target_procs == 1
+        # A (simulated) racing policy shrink releases the HEALTHY node 1
+        # first, leaving the job holding only the dead node 0.
+        ctl.shrink_job(job, 1, victims=(1,))
+        assert job.nodes == (0,)
+        env.run()
+        # The forced service found nothing to shrink to and requeued;
+        # with node 1 free the restart completes (rather than the whole
+        # simulation crashing on an invalid shrink-to-0).
+        assert job.requeues == 1
+        assert job.state is JobState.COMPLETED
+
+    def test_two_failures_before_service_yield_one_decision_one_shrink(self):
+        """Regression: a failure that supersedes a still-unserviced forced
+        decision must not record a second RESIZE_DECISION — one shrink
+        evacuates both dead nodes and the trace stays one-decision-one-ack."""
+        env, _, machine, ctl = setup(nodes=6)
+        job = ctl.submit(flex_job(5, steps=6, max_procs=6))
+        inject(
+            ctl,
+            # Both land inside the same compute batch (service is ~t=20.3).
+            FaultEvent(time=15.0, kind=FaultKind.NODE_FAIL, node=2),
+            FaultEvent(time=16.0, kind=FaultKind.NODE_FAIL, node=3),
+        )
+        env.run()
+        assert job.state is JobState.COMPLETED
+        shrinks = ctl.trace.of_kind(EventKind.RESIZE_SHRINK)
+        assert len(shrinks) == 1
+        assert sorted(shrinks[0].data["released"]) == [2, 3]
+        forced_decisions = [
+            e for e in ctl.trace.of_kind(EventKind.RESIZE_DECISION)
+            if e.data.get("reason") == "node_failure"
+        ]
+        assert len(forced_decisions) == 1
+
+    def test_second_failure_during_evacuation_window(self):
+        """A node that dies while the job is mid-evacuation (paying the
+        quiesce/spawn/redistribution costs of the first forced shrink)
+        must not derail the in-flight shrink: the first shrink releases
+        one dead node, and the second failure's own forced decision
+        evacuates the other at the next reconfiguring point."""
+        env, _, machine, ctl = setup(nodes=6)
+        job = ctl.submit(flex_job(5, steps=6, max_procs=6))
+        inject(
+            ctl,
+            FaultEvent(time=15.0, kind=FaultKind.NODE_FAIL, node=2),
+            # The forced shrink is serviced at t=20.3 and completes at
+            # ~21.07; this lands inside that window, on another held node.
+            FaultEvent(time=20.7, kind=FaultKind.NODE_FAIL, node=1),
+        )
+        env.run()
+        assert job.state is JobState.COMPLETED
+        assert job.requeues == 0
+        shrinks = ctl.trace.of_kind(EventKind.RESIZE_SHRINK)
+        released = [idx for e in shrinks for idx in e.data["released"]]
+        assert sorted(released) == [1, 2]
+        assert job.num_nodes == 3
+        # Decision/ack bookkeeping: one RESIZE_DECISION per evacuation
+        # actually performed (a failure superseding an unserviced forced
+        # decision must not add a second, never-acked one).
+        forced_decisions = [
+            e for e in ctl.trace.of_kind(EventKind.RESIZE_DECISION)
+            if e.data.get("reason") == "node_failure"
+        ]
+        assert len(forced_decisions) == len(shrinks)
+
+    def test_deferred_recovery_respects_admin_drain(self):
+        """Regression: a repair completing at release time must not lift
+        an operator drain — the node parks as DRAINING, never allocatable,
+        until the drain is explicitly resumed."""
+        env, _, machine, ctl = setup(nodes=4)
+        job = ctl.submit(rigid_job(4, steps=2))
+        env.run(until=1.0)
+        ctl.drain_node(0)          # operator drains a held node
+        machine.fail_node(0)       # ...then it dies under the job
+        assert machine.recover_node(0) is False  # repair deferred: held
+        ctl.requeue_job(job)       # release path runs the deferred repair
+        assert machine.nodes[0].state is NodeState.DRAINING
+        assert machine.free_count == 3
+        ctl.resume_node(0)
+        assert machine.free_count == 4
+
+    def test_deferred_recovery_completes_after_evacuation(self):
+        env, _, machine, ctl = setup(nodes=4)
+        job = ctl.submit(flex_job(4, steps=6))
+        inject(
+            ctl,
+            FaultEvent(time=15.0, kind=FaultKind.NODE_FAIL, node=2),
+            # Repair arrives while the job still holds the dead node.
+            FaultEvent(time=15.5, kind=FaultKind.NODE_RECOVER, node=2),
+        )
+        env.run()
+        assert job.state is JobState.COMPLETED
+        # The deferred repair completed when the shrink released node 2.
+        assert machine.nodes[2].state is NodeState.IDLE
+        recover = ctl.trace.of_kind(EventKind.NODE_RECOVER)
+        assert recover[0].data["deferred"] is True
+
+
+class TestDegradationWindows:
+    def test_slowdown_stretches_steps_then_expires(self):
+        env, cluster, machine, ctl = setup(nodes=4)
+        job = ctl.submit(rigid_job(4, steps=2))  # 2 x 10 s nominal
+        inject(
+            ctl,
+            FaultEvent(time=0.0, kind=FaultKind.SLOWDOWN, node=0,
+                       factor=2.0, duration=1000.0),
+        )
+        env.run()
+        # Both steps charged at the slowest node's 2x factor.
+        assert job.end_time == pytest.approx(40.0)
+
+    def test_slowdown_does_not_delay_reconfiguring_points(self):
+        """Regression: batch sizing must price steps at the degraded
+        rate, or a slowdown pushes the next reconfiguring point — where
+        forced shrinks are serviced — late by the slowdown factor."""
+        env, _, machine, ctl = setup(nodes=4)
+        # 60 s inhibitor period, 10 s nominal steps, 2x slowdown from t=0.
+        app = app_of(steps=30, step_time=10.0, at=2, max_procs=2,
+                     sched_period=60.0)
+        job = ctl.submit(
+            Job(name="f", num_nodes=2, time_limit=100_000.0,
+                job_class=JobClass.MALLEABLE, resize_request=app.resize,
+                payload=app)
+        )
+        inject(
+            ctl,
+            FaultEvent(time=0.0, kind=FaultKind.SLOWDOWN, node=0,
+                       factor=2.0, duration=1_000_000.0),
+        )
+        env.run(until=200.0)
+        checks = [e.time for e in ctl.trace.of_kind(EventKind.DMR_CHECK)]
+        assert len(checks) >= 2
+        # Steps cost 20 s under the slowdown; the first serviced check
+        # must land at the inhibitor boundary t=60 (3 degraded steps),
+        # not at t=120 as nominal-rate batch sizing would produce.
+        assert checks[0] == pytest.approx(60.0, abs=1.0)
+        assert checks[1] == pytest.approx(120.15, abs=1.0)
+
+    def test_slowdown_restores_after_duration(self):
+        env, _, machine, ctl = setup(nodes=4)
+        inject(
+            ctl,
+            FaultEvent(time=1.0, kind=FaultKind.SLOWDOWN, node=0,
+                       factor=3.0, duration=5.0),
+        )
+        env.run(until=2.0)
+        assert machine.nodes[0].perf_factor == 3.0
+        env.run(until=7.0)
+        assert machine.nodes[0].perf_factor == 1.0
+
+    def test_overlapping_slowdowns_leave_no_residual(self):
+        """Regression: two overlapping windows on the same node must end
+        at the nominal factor, not at the first window's value."""
+        env, _, machine, ctl = setup(nodes=4)
+        inject(
+            ctl,
+            FaultEvent(time=1.0, kind=FaultKind.SLOWDOWN, node=0,
+                       factor=2.0, duration=10.0),
+            FaultEvent(time=5.0, kind=FaultKind.SLOWDOWN, node=0,
+                       factor=3.0, duration=100.0),
+        )
+        env.run(until=6.0)
+        assert machine.nodes[0].perf_factor == 3.0  # latest window wins
+        env.run(until=12.0)
+        assert machine.nodes[0].perf_factor == 3.0  # first expiry: no-op
+        env.run(until=110.0)
+        assert machine.nodes[0].perf_factor == 1.0  # back to nominal
+
+    def test_same_factor_overlapping_windows_do_not_end_early(self):
+        """Regression: two overlapping windows with the SAME factor are
+        distinct generations — the first expiry must not cut the second
+        window short."""
+        env, _, machine, ctl = setup(nodes=4)
+        inject(
+            ctl,
+            FaultEvent(time=0.0, kind=FaultKind.SLOWDOWN, node=2,
+                       factor=2.0, duration=100.0),
+            FaultEvent(time=50.0, kind=FaultKind.SLOWDOWN, node=2,
+                       factor=2.0, duration=100.0),
+        )
+        env.run(until=101.0)
+        assert machine.nodes[2].perf_factor == 2.0  # second window holds
+        env.run(until=151.0)
+        assert machine.nodes[2].perf_factor == 1.0
+
+    def test_network_degrade_scales_redistribution(self):
+        env, _, machine, ctl = setup(nodes=4)
+        inject(
+            ctl,
+            FaultEvent(time=1.0, kind=FaultKind.NETWORK_DEGRADE,
+                       factor=4.0, duration=10.0),
+        )
+        env.run(until=2.0)
+        assert machine.network_factor == 4.0
+        env.run(until=12.0)
+        assert machine.network_factor == 1.0
+        assert ctl.trace.of_kind(EventKind.NET_DEGRADE)
+
+
+class TestInjectorRobustness:
+    def test_fault_on_out_of_range_node_rejected(self):
+        env, _, machine, ctl = setup(nodes=4)
+        from repro.errors import FaultError
+
+        with pytest.raises(FaultError):
+            FaultInjector(
+                ctl,
+                FaultPlan.scripted(
+                    [FaultEvent(time=1.0, kind=FaultKind.NODE_FAIL, node=99)]
+                ),
+            )
+
+    def test_double_failure_of_same_node_skipped(self):
+        env, _, machine, ctl = setup(nodes=4)
+        injector = inject(
+            ctl,
+            FaultEvent(time=1.0, kind=FaultKind.NODE_FAIL, node=0),
+            FaultEvent(time=2.0, kind=FaultKind.NODE_FAIL, node=0),
+        )
+        env.run(until=3.0)
+        # Failing an already-down node is a skipped no-op: no phantom
+        # NODE_FAIL in the trace (the resilience table counts those).
+        assert machine.nodes[0].state is NodeState.DOWN
+        assert injector.injected == 1
+        assert injector.skipped == 1
+        assert len(ctl.trace.of_kind(EventKind.NODE_FAIL)) == 1
+
+    def test_slowdown_on_down_node_counts_as_skipped_only(self):
+        """Regression: a skipped window must not also count as injected."""
+        env, _, machine, ctl = setup(nodes=4)
+        injector = inject(
+            ctl,
+            FaultEvent(time=1.0, kind=FaultKind.NODE_FAIL, node=0),
+            FaultEvent(time=2.0, kind=FaultKind.SLOWDOWN, node=0,
+                       factor=2.0, duration=5.0),
+        )
+        env.run(until=3.0)
+        assert injector.injected == 1
+        assert injector.skipped == 1
+        assert injector.injected + injector.skipped == len(injector.plan)
+
+    def test_recover_of_healthy_node_skipped(self):
+        env, _, machine, ctl = setup(nodes=4)
+        injector = inject(
+            ctl, FaultEvent(time=1.0, kind=FaultKind.NODE_RECOVER, node=0)
+        )
+        env.run(until=2.0)
+        assert injector.skipped == 1
+        assert machine.free_count == 4

@@ -16,6 +16,7 @@ from repro.slurm import (
     expand_protocol,
     shrink_protocol,
 )
+from repro.testing import run_bounded
 
 
 def make_setup(nodes=16):
@@ -331,20 +332,34 @@ class TestCheckStatus:
 
 class TestBackfillThreadRestart:
     """The sched/backfill thread must survive idle-then-burst workloads:
-    it parks itself when the system drains and submit() restarts it."""
+    it parks itself when the system drains and submit() restarts it.
+
+    These tests drive the clock with :func:`repro.testing.run_bounded`
+    instead of ``env.run``: the scenario exists precisely because the
+    thread's park/restart logic once risked wedging, and a deterministic
+    event budget turns any future regression into a crisp
+    ``WedgedSimulation`` failure instead of a hung CI job.
+    """
+
+    #: Far above what these small scenarios need (a few hundred events),
+    #: far below anything that would make a hang slow to report.
+    EVENT_BUDGET = 20_000
+
+    def _run(self, env, until):
+        run_bounded(env, until=until, max_events=self.EVENT_BUDGET)
 
     def test_burst_during_sleep_window_reuses_thread(self):
         env, _, ctl = make_setup(nodes=8)
         first = ctl.submit(rigid(2, limit=50.0))
-        env.run(until=5.0)
+        self._run(env, until=5.0)
         ctl.finish_job(first)
         # The system is drained but the thread sleeps until t=30.  A
         # burst lands inside that window.
         blocker = ctl.submit(rigid(6, limit=100.0, name="blocker"))
-        env.run(until=6.0)
+        self._run(env, until=6.0)
         head = ctl.submit(rigid(8, limit=100.0, name="wide-head"))
         shorty = ctl.submit(rigid(2, limit=50.0, name="shorty"))
-        env.run(until=31.0)
+        self._run(env, until=31.0)
         # The event-driven FIFO pass stops at the wide head; only the
         # (still-alive) backfill thread's t=30 pass can start shorty.
         assert blocker.is_running
@@ -355,19 +370,19 @@ class TestBackfillThreadRestart:
     def test_idle_then_burst_restarts_thread(self):
         env, _, ctl = make_setup(nodes=8)
         first = ctl.submit(rigid(2, limit=50.0))
-        env.run(until=10.0)
+        self._run(env, until=10.0)
         ctl.finish_job(first)
         # Drain well past several backfill intervals: the thread exits.
-        env.run(until=200.0)
+        self._run(env, until=200.0)
         assert ctl.all_done()
         assert ctl._backfill_thread_alive is False
         # Burst: blocker + wide head + a job only backfill can start.
         blocker = ctl.submit(rigid(6, limit=100.0, name="blocker"))
         assert ctl._backfill_thread_alive is True
-        env.run(until=201.0)
+        self._run(env, until=201.0)
         head = ctl.submit(rigid(8, limit=100.0, name="wide-head"))
         shorty = ctl.submit(rigid(2, limit=50.0, name="shorty"))
-        env.run(until=231.0)
+        self._run(env, until=231.0)
         assert blocker.is_running
         assert head.is_pending
         assert shorty.is_running

@@ -1,5 +1,8 @@
 """Property-based tests on the scheduling and policy components."""
 
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -135,3 +138,160 @@ class TestPolicyProperties:
                 assert decision.target_procs in request.shrink_sizes(current)
             else:
                 assert decision.target_procs == current
+
+
+# -- differential legacy-vs-incremental scheduler fuzzing ----------------------
+#
+# PR 4 proved the incremental O(k log n) scheduler byte-identical to the
+# legacy resort-per-pass one on three pinned golden traces.  The suite
+# below fuzzes that equivalence proof: random job traces — sizes, limits,
+# moldable flags, mid-run cancels, node failures with repairs — are
+# replayed through both scheduler modes, and the *entire canonical trace*
+# (every start, backfill pick, requeue, resize decision and allocation
+# change, in order) must match exactly.  Every replay also runs under the
+# InvariantObserver, so the fuzz doubles as an invariant hunt.
+
+from repro.cluster import Machine
+from repro.metrics.trace import canonical_lines
+from repro.sim import Environment
+from repro.sim.process import Interrupt
+from repro.slurm import SlurmConfig, SlurmController
+from repro.slurm.job import JobClass
+from repro.testing import InvariantObserver, run_bounded
+
+DIFF_NODES = 12
+DIFF_HORIZON = 100_000.0
+
+
+@dataclass(frozen=True)
+class TraceJob:
+    nodes: int
+    runtime: float
+    limit_factor: float
+    gap: float  # arrival gap after the previous submission
+    moldable: bool
+    cancel_after: Optional[float]  # seconds after submission, or None
+
+
+@dataclass(frozen=True)
+class TraceFault:
+    time: float
+    node: int
+    repair_after: Optional[float]
+
+
+job_strategy = st.builds(
+    TraceJob,
+    nodes=st.integers(1, 8),
+    runtime=st.floats(1.0, 300.0),
+    limit_factor=st.floats(1.05, 3.0),
+    gap=st.floats(0.0, 40.0),
+    moldable=st.booleans(),
+    cancel_after=st.one_of(st.none(), st.floats(0.0, 200.0)),
+)
+
+fault_strategy = st.builds(
+    TraceFault,
+    time=st.floats(0.0, 500.0),
+    node=st.integers(0, DIFF_NODES - 1),
+    repair_after=st.one_of(st.none(), st.floats(1.0, 300.0)),
+)
+
+
+def _replay_differential(jobs: List[TraceJob], faults: List[TraceFault],
+                         incremental: bool) -> List[str]:
+    """Replay a fuzzed trace through one scheduler mode; canonical lines."""
+    env = Environment()
+    machine = Machine(DIFF_NODES)
+    ctl = SlurmController(
+        env, machine, SlurmConfig(incremental_queue=incremental)
+    )
+    observer = InvariantObserver(controller=ctl)
+    ctl.trace.subscribe(observer.on_event)
+    runtimes = {}
+
+    def execute(job):
+        try:
+            yield env.timeout(runtimes[job.job_id])
+            ctl.finish_job(job)
+        except Interrupt:
+            return  # cancelled or requeued; the controller settled it
+
+    def launcher(job):
+        proc = env.process(execute(job), name=f"run-{job.job_id}")
+        ctl.register_job_process(job, proc)
+
+    ctl.launcher = launcher
+
+    def canceller(job, delay):
+        yield env.timeout(delay)
+        if not job.is_terminal:
+            ctl.cancel_job(job)
+
+    def submitter():
+        for spec in jobs:
+            if spec.gap > 0:
+                yield env.timeout(spec.gap)
+            kwargs = {}
+            if spec.moldable:
+                kwargs = dict(
+                    job_class=JobClass.MOLDABLE,
+                    resize_request=ResizeRequest(
+                        min_procs=1, max_procs=spec.nodes
+                    ),
+                )
+            job = ctl.submit(
+                Job(
+                    name=f"fz-{spec.nodes}n",
+                    num_nodes=spec.nodes,
+                    time_limit=spec.runtime * spec.limit_factor,
+                    **kwargs,
+                )
+            )
+            runtimes[job.job_id] = spec.runtime
+            if spec.cancel_after is not None:
+                env.process(canceller(job, spec.cancel_after))
+
+    def fault_driver():
+        for fault in sorted(faults, key=lambda f: f.time):
+            if fault.time > env.now:
+                yield env.timeout(fault.time - env.now)
+            node = machine.nodes[fault.node]
+            from repro.cluster.node import NodeState
+
+            if node.state is not NodeState.DOWN:
+                ctl.fail_node(fault.node)
+                if fault.repair_after is not None:
+                    env.process(repairer(fault.node, fault.repair_after))
+
+    def repairer(idx, delay):
+        yield env.timeout(delay)
+        from repro.cluster.node import NodeState
+
+        if machine.nodes[idx].state is NodeState.DOWN:
+            ctl.recover_node(idx)
+
+    env.process(submitter(), name="submitter")
+    env.process(fault_driver(), name="faults")
+    run_bounded(env, until=DIFF_HORIZON, max_events=500_000)
+    assert observer.verify_final() > 0
+    return canonical_lines(ctl.trace)
+
+
+class TestDifferentialSchedulerEquivalence:
+    @given(jobs=st.lists(job_strategy, min_size=1, max_size=18))
+    @settings(max_examples=40, deadline=None)
+    def test_identical_traces_without_faults(self, jobs):
+        legacy = _replay_differential(jobs, [], incremental=False)
+        incremental = _replay_differential(jobs, [], incremental=True)
+        assert legacy == incremental
+
+    @given(
+        jobs=st.lists(job_strategy, min_size=1, max_size=14),
+        faults=st.lists(fault_strategy, max_size=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_identical_traces_with_faults(self, jobs, faults):
+        legacy = _replay_differential(jobs, faults, incremental=False)
+        incremental = _replay_differential(jobs, faults, incremental=True)
+        assert legacy == incremental

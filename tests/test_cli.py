@@ -96,7 +96,7 @@ def test_scalability_artifact(capsys):
 
 def test_registry_covers_every_eval_artifact():
     expected = {f"fig{i}" for i in (1, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12)}
-    expected |= {"table2", "scalability"}
+    expected |= {"table2", "scalability", "resilience"}
     assert set(builtin_registry().names()) == expected
 
 
@@ -384,3 +384,42 @@ class TestArtifactStoreCache:
         builtin_registry().clear_cache()
         assert main(["fig1", "--no-cache"]) == 0
         assert calls == [1]
+
+
+# -- resilience mode ----------------------------------------------------------
+
+def test_resilience_quick_check_passes(tmp_path, capsys):
+    out = tmp_path / "csvs"
+    assert main(["resilience", "--quick", "--check", "--csv", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "DMR strictly ahead" in printed
+    csv_text = (out / "resilience.csv").read_text()
+    assert "work_fraction" in csv_text.splitlines()[0]
+
+
+def test_resilience_custom_mtbf_list(capsys):
+    assert main(["resilience", "--quick", "--mtbf", "500"]) == 0
+    assert "MTBF 500s" in capsys.readouterr().out
+
+
+def test_resilience_rejects_bad_mtbf_list():
+    with pytest.raises(SystemExit):
+        main(["resilience", "--mtbf", "fast,slow"])
+
+
+def test_resilience_rejects_empty_mtbf_list(capsys):
+    assert main(["resilience", "--mtbf", ","]) == 2
+    assert "at least one value" in capsys.readouterr().err
+
+
+def test_resilience_rejects_nonpositive_values(capsys):
+    assert main(["resilience", "--quick", "--mtbf", "-100"]) == 2
+    assert "positive" in capsys.readouterr().err
+    assert main(["resilience", "--quick", "--repair-time", "0"]) == 2
+    assert main(["resilience", "--quick", "--num-jobs", "0"]) == 2
+
+
+def test_resilience_rejects_nan_values(capsys):
+    assert main(["resilience", "--quick", "--mtbf", "nan"]) == 2
+    assert "finite" in capsys.readouterr().err
+    assert main(["resilience", "--quick", "--repair-time", "nan"]) == 2

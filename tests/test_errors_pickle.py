@@ -6,7 +6,7 @@ import pickle
 import pytest
 
 import repro.errors as errors
-from repro.errors import ReproError, SimulationTimeout
+from repro.errors import InvariantViolation, ReproError, SimulationTimeout
 
 
 def test_simulation_timeout_round_trips_with_payload():
@@ -34,11 +34,21 @@ def test_simulation_timeout_message_survives_reduce():
     assert clone.running_job_ids == (9,)
 
 
+def test_invariant_violation_round_trips_with_payload():
+    exc = InvariantViolation("no-double-allocation", 42.5, "node 3 granted twice")
+    clone = pickle.loads(pickle.dumps(exc))
+    assert isinstance(clone, InvariantViolation)
+    assert clone.invariant == "no-double-allocation"
+    assert clone.time == 42.5
+    assert clone.detail == "node 3 granted twice"
+    assert str(clone) == str(exc)
+
+
 @pytest.mark.parametrize(
     "exc_type",
     [t for t in vars(errors).values()
      if isinstance(t, type) and issubclass(t, ReproError)
-     and t is not SimulationTimeout],
+     and t not in (SimulationTimeout, InvariantViolation)],
 )
 def test_every_simple_repro_error_round_trips(exc_type):
     exc = exc_type("some message")

@@ -1,0 +1,177 @@
+"""The invariant harness itself: clean runs pass, corrupted runs are
+caught at the breaking event, and the suite-wide fixture is wired."""
+
+import pytest
+
+from repro.api import Session
+from repro.cluster import ClusterConfig
+from repro.cluster.configs import marenostrum_preliminary
+from repro.errors import InvariantViolation
+from repro.faults import FaultPlan
+from repro.metrics.trace import EventKind, Trace
+from repro.testing import InvariantObserver, WedgedSimulation, run_bounded
+
+
+class TestCleanRuns:
+    def test_fs_workload_passes_all_invariants(self):
+        observer = InvariantObserver()
+        session = (
+            Session(cluster=marenostrum_preliminary())
+            .with_seed(2017)
+            .observe(observer)
+        )
+        result = session.run(session.fs_workload(10))
+        assert result.summary.num_jobs == 10
+        assert observer.verify_final() > 0
+
+    def test_faulty_run_passes_all_invariants(self):
+        observer = InvariantObserver()
+        base = Session(cluster=marenostrum_preliminary()).with_seed(3)
+        plan = FaultPlan.from_mtbf(
+            mtbf=400.0, horizon=4000.0, num_nodes=20, seed=3, repair_time=300.0
+        )
+        session = base.with_faults(plan).observe(observer)
+        session.run(base.fs_workload(10))
+        assert observer.verify_final() > 0
+
+
+class TestViolationsAreCaught:
+    """Feed the observer hand-corrupted event streams."""
+
+    def _observer_on(self, trace: Trace) -> InvariantObserver:
+        observer = InvariantObserver()
+        trace.subscribe(observer.on_event)
+        return observer
+
+    def test_time_going_backwards(self):
+        trace = Trace()
+        self._observer_on(trace)
+        trace.record(10.0, EventKind.JOB_SUBMIT, 1, name="a", nodes=2,
+                     flexible=False, resizer=False)
+        with pytest.raises(InvariantViolation, match="monotonic-time"):
+            trace.record(9.0, EventKind.JOB_SUBMIT, 2, name="b", nodes=2,
+                         flexible=False, resizer=False)
+
+    def test_double_allocation(self):
+        trace = Trace()
+        self._observer_on(trace)
+        trace.record(0.0, EventKind.JOB_START, 1, nodes=2, node_ids=(0, 1),
+                     resizer=False)
+        with pytest.raises(InvariantViolation, match="no-double-allocation"):
+            trace.record(1.0, EventKind.JOB_START, 2, nodes=2, node_ids=(1, 2),
+                         resizer=False)
+
+    def test_unpaired_shrink(self):
+        trace = Trace()
+        self._observer_on(trace)
+        trace.record(0.0, EventKind.JOB_START, 1, nodes=4,
+                     node_ids=(0, 1, 2, 3), resizer=False)
+        with pytest.raises(InvariantViolation, match="decision-ack-pairing"):
+            trace.record(5.0, EventKind.RESIZE_SHRINK, 1, new_size=2,
+                         released=(2, 3))
+
+    def test_mismatched_decision_action(self):
+        trace = Trace()
+        self._observer_on(trace)
+        trace.record(0.0, EventKind.JOB_START, 1, nodes=2, node_ids=(0, 1),
+                     resizer=False)
+        trace.record(1.0, EventKind.RESIZE_DECISION, 1, action="expand",
+                     target=4, reason="alone_in_system", beneficiary=None)
+        with pytest.raises(InvariantViolation, match="decision-ack-pairing"):
+            trace.record(2.0, EventKind.RESIZE_SHRINK, 1, new_size=1,
+                         released=(1,))
+
+    def test_paired_resize_accepted(self):
+        trace = Trace()
+        observer = self._observer_on(trace)
+        trace.record(0.0, EventKind.JOB_START, 1, nodes=2, node_ids=(0, 1),
+                     resizer=False)
+        trace.record(1.0, EventKind.RESIZE_DECISION, 1, action="shrink",
+                     target=1, reason="shrink_for_pending", beneficiary=None)
+        trace.record(2.0, EventKind.RESIZE_SHRINK, 1, new_size=1, released=(1,))
+        assert observer.checks == 3
+
+    def test_unhandled_failure_on_rigid_job(self):
+        """A NODE_FAIL whose holder never reacts must be flagged."""
+        from repro.cluster import Machine
+        from repro.sim import Environment
+        from repro.slurm import Job, SlurmController
+
+        env = Environment()
+        machine = Machine(4)
+        ctl = SlurmController(env, machine)
+        observer = InvariantObserver(controller=ctl)
+        ctl.trace.subscribe(observer.on_event)
+        job = ctl.submit(Job(name="r", num_nodes=2, time_limit=100.0))
+        env.run(until=1.0)
+        # Break the node underneath the controller's back: no reaction.
+        holder = machine.fail_node(0)
+        assert holder == job.job_id
+        ctl.trace.record(1.0, EventKind.NODE_FAIL, holder, node=0,
+                         hostname="mn0000")
+        with pytest.raises(InvariantViolation, match="failure-handling"):
+            ctl.trace.record(2.0, EventKind.ALLOC_CHANGE, nodes_used=2,
+                             nodes_total=4)
+
+
+class TestSuiteWiring:
+    def test_fixture_attaches_observer_to_session_builds(self):
+        """The root-conftest plugin patches Session.build suite-wide."""
+        sim = Session(cluster=ClusterConfig(num_nodes=4)).build()
+        assert sim.dispatch is not None
+        observers = sim.dispatch._observers
+        assert any(isinstance(o, InvariantObserver) for o in observers)
+
+    @pytest.mark.no_invariants
+    def test_opt_out_marker_disables_wiring(self):
+        sim = Session(cluster=ClusterConfig(num_nodes=4)).build()
+        assert sim.dispatch is None  # no observers -> no dispatch at all
+
+
+class TestRunBounded:
+    def test_drains_like_env_run(self):
+        from repro.sim import Environment
+
+        env = Environment()
+        done = []
+
+        def proc():
+            yield env.timeout(5.0)
+            done.append(env.now)
+
+        env.process(proc())
+        run_bounded(env)
+        assert done == [5.0]
+
+    def test_until_advances_clock_like_env_run(self):
+        from repro.sim import Environment
+
+        env = Environment()
+        run_bounded(env, until=42.0)
+        assert env.now == 42.0
+
+    def test_wedged_process_raises_instead_of_hanging(self):
+        from repro.sim import Environment
+
+        env = Environment()
+
+        def wedge():
+            while True:
+                yield env.timeout(0.001)
+
+        env.process(wedge())
+        with pytest.raises(WedgedSimulation):
+            run_bounded(env, until=1e9, max_events=500)
+
+    def test_zero_delay_livelock_raises(self):
+        from repro.sim import Environment
+
+        env = Environment()
+
+        def livelock():
+            while True:
+                yield env.timeout(0.0)
+
+        env.process(livelock())
+        with pytest.raises(WedgedSimulation):
+            run_bounded(env, max_events=500)
