@@ -64,7 +64,9 @@ def jacobi_spec(
         block = state["A"].shape[0]
         offset = ctx.rank * block  # block-row offset of this rank
         a_local, b_local = state["A"], state["b"]
-        d_local = np.array([a_local[i, offset + i] for i in range(block)])
+        # Diagonal of this block row, extracted in one vectorized gather.
+        rows = np.arange(block)
+        d_local = a_local[rows, offset + rows]
         rx = a_local @ x_full - d_local * x_full[offset : offset + block]
         x_new = (b_local - rx) / d_local
         return {"A": a_local, "b": b_local, "x": x_new}

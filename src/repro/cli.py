@@ -496,15 +496,25 @@ def _build_bench_sched_parser() -> argparse.ArgumentParser:
                         "scheduler (default 20000)")
     parser.add_argument("--out", metavar="FILE", default=None,
                         help="output path (default BENCH_sched.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="re-run the smallest committed size and compare "
+                        "the deterministic metrics against the committed "
+                        "BENCH_sched.json (timestamps/wall-clock/RSS are "
+                        "ignored); writes nothing")
+    parser.add_argument("--profile", metavar="FILE", default=None,
+                        help="dump cProfile pstats of the largest "
+                        "incremental replay to FILE")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress progress lines on stderr")
     return parser
 
 
 def _bench_sched_mode(argv: List[str]) -> int:
+    from repro.errors import SweepError
     from repro.sweep.bench import (
         SCHED_BENCH_PATH,
         SCHED_LEGACY_CAP,
+        check_sched_bench,
         run_sched_bench,
         write_bench,
     )
@@ -514,6 +524,26 @@ def _bench_sched_mode(argv: List[str]) -> int:
     progress = None if args.quiet else (
         lambda message: print(f"[bench sched] {message}", file=sys.stderr)
     )
+    if args.check:
+        committed_path = args.out if args.out else SCHED_BENCH_PATH
+        size = args.sizes[0] if args.sizes else None
+        try:
+            drifts = check_sched_bench(
+                committed_path, size=size, progress=progress
+            )
+        except SweepError as exc:
+            print(f"bench check failed: {exc}", file=sys.stderr)
+            return 1
+        if drifts:
+            print(f"{committed_path} drifted from the current scheduler:")
+            for line in drifts:
+                print(f"  {line}")
+            return 1
+        print(
+            f"{committed_path}: deterministic metrics match "
+            "(volatile fields ignored)"
+        )
+        return 0
     data = run_sched_bench(
         sizes=args.sizes,
         quick=args.quick,
@@ -522,6 +552,7 @@ def _bench_sched_mode(argv: List[str]) -> int:
         legacy_cap=(SCHED_LEGACY_CAP if args.legacy_cap is None
                     else args.legacy_cap),
         progress=progress,
+        profile_path=args.profile,
     )
     path = write_bench(data, args.out if args.out else SCHED_BENCH_PATH)
     for size, entry in data["traces"].items():

@@ -93,6 +93,16 @@ class SimulationTimeout(ReproError):
         )
 
 
+class TraceError(ReproError):
+    """A trace was queried in a way its configuration cannot answer
+    (e.g. a post-hoc query on a non-retaining streaming trace)."""
+
+
+class TraceStreamError(TraceError):
+    """A spilled trace stream on disk is unreadable: missing or corrupt
+    end-of-stream footer (crash mid-spill), or a count/digest mismatch."""
+
+
 class WorkloadError(ReproError):
     """Invalid workload-generation parameters."""
 

@@ -6,6 +6,11 @@ from repro.metrics.report import (
     format_table,
     sparkline,
 )
+from repro.metrics.stream import (
+    StreamingTraceWriter,
+    read_trace_lines,
+    stream_digest,
+)
 from repro.metrics.summary import WorkloadSummary, gain_percent, summarize
 from repro.metrics.timeline import (
     StepSeries,
@@ -27,6 +32,7 @@ from repro.metrics.trace import (
 __all__ = [
     "EventKind",
     "StepSeries",
+    "StreamingTraceWriter",
     "Trace",
     "TraceEvent",
     "WorkloadSummary",
@@ -38,7 +44,9 @@ __all__ = [
     "format_evolution",
     "format_table",
     "gain_percent",
+    "read_trace_lines",
     "running_jobs_series",
+    "stream_digest",
     "sparkline",
     "step_series",
     "summarize",

@@ -1,17 +1,28 @@
 """Typed event tracing.
 
-Every interesting scheduler/runtime occurrence is appended to a
+Every interesting scheduler/runtime occurrence is recorded into a
 :class:`Trace`; all paper metrics (utilization series, waiting times,
 throughput curves) are pure functions of the trace, which keeps the
 simulation and its measurement decoupled.
+
+A trace has two consumption modes:
+
+* **retained** (the default): events accumulate in :attr:`Trace.events`
+  for post-hoc queries — what every experiment driver uses;
+* **streaming** (``Trace(retain=False)``): events are dispatched to the
+  live subscribers and dropped, so memory stays flat no matter how long
+  the simulation runs.  Million-job benches and the spill-to-disk writer
+  (:mod:`repro.metrics.stream`) run in this mode; post-hoc queries on a
+  non-retaining trace raise :class:`~repro.errors.TraceError`.
 """
 
 from __future__ import annotations
 
 import enum
 import hashlib
-from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import TraceError
 
 
 class EventKind(enum.Enum):
@@ -39,31 +50,72 @@ class EventKind(enum.Enum):
     JOB_REQUEUE = "job_requeue"
 
 
-@dataclass(frozen=True)
 class TraceEvent:
-    """One record in the simulation trace."""
+    """One record in the simulation trace.
 
-    time: float
-    kind: EventKind
-    job_id: Optional[int] = None
-    data: Dict[str, Any] = field(default_factory=dict)
+    A fixed-layout ``__slots__`` record rather than a dataclass: traces
+    are the simulation's highest-volume allocation (several events per
+    job), and the slotted layout halves the per-event footprint and
+    construction cost.  Treat instances as immutable — they are shared
+    between the trace, its subscribers and any spilled streams.
+    """
+
+    __slots__ = ("time", "kind", "job_id", "data")
+
+    def __init__(
+        self,
+        time: float,
+        kind: EventKind,
+        job_id: Optional[int] = None,
+        data: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.time = time
+        self.kind = kind
+        self.job_id = job_id
+        self.data = {} if data is None else data
 
     def __getitem__(self, key: str) -> Any:
         return self.data[key]
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceEvent):
+            return NotImplemented
+        return (
+            self.time == other.time
+            and self.kind == other.kind
+            and self.job_id == other.job_id
+            and self.data == other.data
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceEvent(time={self.time!r}, kind={self.kind!r}, "
+            f"job_id={self.job_id!r}, data={self.data!r})"
+        )
+
 
 class Trace:
-    """Append-only event log with small query helpers.
+    """Event log with small query helpers and live subscription.
 
     Besides the post-hoc queries, a trace supports *live* consumption:
     :meth:`subscribe` registers a callback invoked with every event the
     moment it is recorded.  The :class:`repro.api.Session` observer
-    machinery is built on this hook.
+    machinery and the spill-to-disk writer are built on this hook.
+
+    ``retain=False`` turns off in-memory accumulation: :attr:`events`
+    stays empty, ``len``/:meth:`last_time` keep working from counters,
+    and the post-hoc query helpers raise :class:`~repro.errors.TraceError`
+    instead of silently answering from an empty log.
     """
 
-    def __init__(self) -> None:
+    __slots__ = ("events", "retain", "_subscribers", "_count", "_last_time")
+
+    def __init__(self, retain: bool = True) -> None:
         self.events: List[TraceEvent] = []
+        self.retain = retain
         self._subscribers: List[Any] = []
+        self._count = 0
+        self._last_time = 0.0
 
     def subscribe(self, callback) -> None:
         """Call ``callback(event)`` for every subsequently recorded event."""
@@ -80,33 +132,48 @@ class Trace:
         job_id: Optional[int] = None,
         **data: Any,
     ) -> TraceEvent:
-        event = TraceEvent(time=time, kind=kind, job_id=job_id, data=data)
-        self.events.append(event)
+        event = TraceEvent(time, kind, job_id, data)
+        self._count += 1
+        self._last_time = time
+        if self.retain:
+            self.events.append(event)
         for callback in self._subscribers:
             callback(event)
         return event
 
     def __len__(self) -> int:
-        return len(self.events)
+        return self._count
 
     def __iter__(self) -> Iterator[TraceEvent]:
+        self._require_retained("iterate")
         return iter(self.events)
+
+    def _require_retained(self, what: str) -> None:
+        if not self.retain and self._count:
+            raise TraceError(
+                f"cannot {what} a non-retaining trace: events were "
+                "dispatched to live subscribers and dropped "
+                "(construct the Trace with retain=True for post-hoc queries)"
+            )
 
     def of_kind(self, *kinds: EventKind) -> List[TraceEvent]:
         """All events of the given kind(s), in time order."""
+        self._require_retained("query")
         wanted = set(kinds)
         return [e for e in self.events if e.kind in wanted]
 
     def of_job(self, job_id: int) -> List[TraceEvent]:
+        self._require_retained("query")
         return [e for e in self.events if e.job_id == job_id]
 
     def series(self, kind: EventKind, key: str) -> List[Tuple[float, Any]]:
         """(time, data[key]) pairs for every event of ``kind``."""
+        self._require_retained("query")
         return [(e.time, e.data[key]) for e in self.events if e.kind is kind]
 
     def last_time(self) -> float:
         """Timestamp of the latest event (0.0 for an empty trace)."""
-        return self.events[-1].time if self.events else 0.0
+        return self._last_time
 
 
 def canonical_line(event: TraceEvent) -> str:

@@ -184,6 +184,11 @@ class MPIExecutor:
     def __init__(self, max_ops: int = 10_000_000) -> None:
         self.max_ops = max_ops
         self._procs: Dict[int, _Proc] = {}
+        #: Round-robin schedule in creation order.  Maintained
+        #: incrementally (appended by :meth:`create_world`, compacted when
+        #: mostly finished) so a sweep costs O(live) instead of
+        #: rebuilding an all-procs list per sweep.
+        self._run_order: List[_Proc] = []
         self._proc_ids = count(0)
         #: Collective rendezvous: comm cid -> {proc_id: op}.
         self._pending_collectives: Dict[int, Dict[int, Collective]] = {}
@@ -215,18 +220,26 @@ class MPIExecutor:
                 )
             proc.generator = gen
             self._procs[pid] = proc
+            self._run_order.append(proc)
         return world
 
     # -- execution ----------------------------------------------------------------
     def run(self) -> Dict[int, Any]:
         """Run every process to completion; returns {proc_id: result}."""
         ops_budget = self.max_ops
+        order = self._run_order
         while True:
-            live = [p for p in self._procs.values() if p.state is not ProcState.DONE]
-            if not live:
-                break
+            # Procs spawned mid-sweep land past sweep_len and first run in
+            # the next sweep — exactly when a rebuilt-per-sweep list would
+            # have picked them up.
+            sweep_len = len(order)
+            live_seen = 0
             progressed = False
-            for proc in live:
+            for i in range(sweep_len):
+                proc = order[i]
+                if proc.state is ProcState.DONE:
+                    continue
+                live_seen += 1
                 if proc.state is ProcState.READY:
                     self._advance(proc)
                     progressed = True
@@ -236,8 +249,14 @@ class MPIExecutor:
                         progressed = True
                 if ops_budget <= 0:
                     raise MPIError(f"exceeded max_ops={self.max_ops}; runaway ranks?")
+            if live_seen == 0:
+                if len(order) == sweep_len:
+                    break
+                continue  # only freshly spawned procs remain
             if not progressed:
                 self._raise_deadlock()
+            if live_seen * 2 < sweep_len:
+                order[:] = [p for p in order if p.state is not ProcState.DONE]
         return {pid: p.result for pid, p in self._procs.items()}
 
     def world_results(self, world: Communicator) -> List[Any]:

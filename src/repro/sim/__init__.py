@@ -15,6 +15,7 @@ plus :class:`RandomStreams` for named reproducible randomness and
 :class:`Store`/:class:`Resource` for inter-process coordination.
 """
 
+from repro.sim.calendar import EventCalendar
 from repro.sim.engine import EmptySchedule, Environment
 from repro.sim.events import AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
 from repro.sim.process import Interrupt, Process
@@ -29,6 +30,7 @@ __all__ = [
     "EmptySchedule",
     "Environment",
     "Event",
+    "EventCalendar",
     "Interrupt",
     "Process",
     "RandomStreams",

@@ -1,0 +1,103 @@
+"""Indexed event calendar — the engine's pending-event structure.
+
+The original engine kept one global binary heap of
+``(time, priority, serial, event)`` tuples: every ``schedule``/``step``
+paid a full O(log n) sift over 4-tuple comparisons, and — because
+discrete-event workloads are extremely tie-heavy (a submission burst, a
+scheduling pass and the protocol messages it triggers all land on the
+*same* timestamp) — most of that comparison work re-derived an ordering
+the calendar can know structurally.
+
+:class:`EventCalendar` indexes events by exact timestamp instead:
+
+* a dict maps each *distinct* timestamp to its bucket;
+* a bucket maps priority -> FIFO deque of events (append/popleft);
+* a small heap orders only the distinct timestamps.
+
+Inserting into an existing timestamp is O(1) (dict hit + deque append),
+and draining the events of the current timestamp is O(1) per event — the
+timestamp heap is touched exactly once per *distinct* time, when its
+bucket is created and when it empties.  Only genuinely new timestamps
+pay a heap sift, over bare floats rather than 4-tuples.
+
+Ordering is **identical** to the old heap, which the golden-trace suite
+and the Hypothesis differential tests (tests/sim/test_calendar_properties
+.py) pin event-for-event:
+
+1. earlier timestamps first;
+2. within a timestamp, lower priority values first (URGENT before
+   NORMAL before the controller's low-priority pass ticks), even when
+   the urgent event was scheduled *after* normal ones already queued at
+   that time;
+3. within (timestamp, priority), strict insertion (FIFO) order.
+
+Invariants the calendar guarantees (relied on by the engine):
+
+* the timestamp heap holds exactly the timestamps with a non-empty
+  bucket — no stale entries, so :meth:`peek_time` is O(1) and exact;
+* an event is returned exactly once, in the order defined above;
+* ``len(calendar)`` is the number of not-yet-popped events.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappop, heappush
+from typing import Any, Deque, Dict, List, Tuple
+
+
+class EventCalendar:
+    """Timestamp-indexed pending-event store with deterministic ordering."""
+
+    __slots__ = ("_times", "_buckets", "_size")
+
+    def __init__(self) -> None:
+        #: Heap of the *distinct* timestamps that have pending events.
+        self._times: List[float] = []
+        #: time -> {priority: FIFO deque of events}.
+        self._buckets: Dict[float, Dict[int, Deque[Any]]] = {}
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def push(self, time: float, priority: int, event: Any) -> None:
+        """Insert ``event`` at ``time``; O(1) for an already-known time."""
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            heappush(self._times, time)
+            self._buckets[time] = {priority: deque((event,))}
+        else:
+            queue = bucket.get(priority)
+            if queue is None:
+                bucket[priority] = deque((event,))
+            else:
+                queue.append(event)
+        self._size += 1
+
+    def peek_time(self) -> float:
+        """Earliest pending timestamp (``inf`` when empty)."""
+        return self._times[0] if self._times else float("inf")
+
+    def pop(self) -> Tuple[float, int, Any]:
+        """Remove and return the next ``(time, priority, event)``."""
+        if not self._size:
+            raise IndexError("pop from an empty EventCalendar")
+        time = self._times[0]
+        bucket = self._buckets[time]
+        # Buckets hold at most a handful of distinct priorities (URGENT,
+        # NORMAL and the controller's pass priority), so min() over the
+        # keys is effectively constant work.
+        priority = min(bucket)
+        queue = bucket[priority]
+        event = queue.popleft()
+        if not queue:
+            del bucket[priority]
+            if not bucket:
+                del self._buckets[time]
+                heappop(self._times)
+        self._size -= 1
+        return time, priority, event

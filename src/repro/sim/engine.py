@@ -1,8 +1,9 @@
 """The discrete-event simulation engine.
 
-:class:`Environment` owns the simulation clock and the pending-event heap.
-Events scheduled at the same timestamp are processed in (priority, insertion
-order), which makes every simulation fully deterministic.
+:class:`Environment` owns the simulation clock and the pending-event
+calendar (:class:`repro.sim.calendar.EventCalendar`).  Events scheduled
+at the same timestamp are processed in (priority, insertion order), which
+makes every simulation fully deterministic.
 
 Everything above this module runs as generator-based processes on one
 :class:`Environment`: each job's :class:`repro.runtime.nanos.NanosRuntime`
@@ -19,11 +20,10 @@ attributable to the resize decisions alone.
 
 from __future__ import annotations
 
-import heapq
-from itertools import count
-from typing import Any, Generator, Iterable, List, Optional, Tuple
+from typing import Any, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
+from repro.sim.calendar import EventCalendar
 from repro.sim.events import AllOf, AnyOf, Event, NORMAL, Timeout
 from repro.sim.process import Process
 
@@ -39,10 +39,11 @@ class StopSimulation(Exception):
 class Environment:
     """A deterministic discrete-event simulation environment."""
 
+    __slots__ = ("_now", "_queue", "_active_process", "_events_processed")
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: List[Tuple[float, int, int, Event]] = []
-        self._eid = count()
+        self._queue = EventCalendar()
         self._active_process: Optional[Process] = None
         self._events_processed = 0
 
@@ -67,16 +68,16 @@ class Environment:
         """Enqueue a triggered event ``delay`` time units from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+        self._queue.push(self._now + delay, priority, event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._queue.peek_time()
 
     def step(self) -> None:
         """Process the next event, advancing the clock."""
         try:
-            self._now, _, _, event = heapq.heappop(self._queue)
+            self._now, _, event = self._queue.pop()
         except IndexError:
             raise EmptySchedule("no scheduled events") from None
         self._events_processed += 1

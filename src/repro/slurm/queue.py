@@ -164,6 +164,27 @@ class PendingQueue:
         self._insert(job, self._key(job, now))
 
     # -- pass-side consumption ---------------------------------------------
+    def peek_head(self, now: float) -> Optional[Job]:
+        """The highest-priority job without checking it out (None if empty).
+
+        Lets a scheduling pass look at the queue head for free: when the
+        head does not fit the free nodes the pass ends without ever
+        touching the heap, instead of paying a pop/push-back round trip
+        for every event-driven pass in a saturated system.  Dead entries
+        encountered on the way are dropped, exactly as in
+        :meth:`pop_head`.
+        """
+        self._ensure_fresh(now)
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            job = entry[2]
+            if job is None or self._entries.get(job.job_id) is not entry:
+                heapq.heappop(heap)  # dead entry
+                continue
+            return job
+        return None
+
     def pop_head(self, now: float) -> Optional[Job]:
         """Check out the highest-priority job (None when empty).
 

@@ -9,6 +9,8 @@ CLI verbs.
 
 from repro.sweep.aggregate import Aggregate, AggregateRow, SweepResult
 from repro.sweep.bench import (
+    bench_drift,
+    check_sched_bench,
     replay_sched_trace,
     run_bench,
     run_sched_bench,
@@ -33,6 +35,8 @@ __all__ = [
     "SweepObserver",
     "SweepResult",
     "SweepRunner",
+    "bench_drift",
+    "check_sched_bench",
     "execute_cell",
     "metrics_from_csv",
     "replay_sched_trace",

@@ -43,6 +43,26 @@ SCHED_QUICK_SIZES = (2000,)
 #: Legacy (O(n^2)) replays are capped by default: at 50k jobs the
 #: resort-per-pass scheduler is exactly what this bench exists to retire.
 SCHED_LEGACY_CAP = 20000
+#: Replays at or above this many jobs run *lean*: a non-retaining trace
+#: and ``retain_finished=False``, so memory tracks the live jobs instead
+#: of the whole history (what makes the million-job row feasible).
+SCHED_LEAN_MIN = 200_000
+
+#: Payload keys that legitimately differ between two runs of the same
+#: bench on the same code: timestamps, wall-clock and anything derived
+#: from it, and memory high-water marks.  ``--check``-style comparisons
+#: must ignore exactly these — comparing ``generated_unix`` (or any
+#: wall-derived ratio) makes every check fail by construction.
+VOLATILE_BENCH_KEYS = frozenset({
+    "generated_unix",
+    "total_wall_s",
+    "wall_s",
+    "wall_us_per_pass",
+    "events_per_sec",
+    "peak_rss_mb",
+    "wall_ratio",
+    "wall_per_pass_ratio",
+})
 
 
 def run_bench(
@@ -102,6 +122,7 @@ def replay_sched_trace(
     num_nodes: Optional[int] = None,
     incremental: bool = True,
     backfill_interval: float = 30.0,
+    lean: bool = False,
 ) -> Dict[str, object]:
     """Replay a scheduler trace through a bare controller; return stats.
 
@@ -109,8 +130,15 @@ def replay_sched_trace(
     occupies its nodes for its trace runtime, so the measurement isolates
     the scheduler hot path (queue maintenance, FIFO passes, EASY
     backfill) from the runtime/DMR machinery.
+
+    ``lean=True`` replays with a non-retaining trace and without the
+    finished-job archive (:attr:`SlurmConfig.retain_finished` off), so a
+    million-job replay holds only the live jobs in memory.  Scheduling
+    decisions — and therefore every deterministic stat — are identical
+    in both modes.
     """
     from repro.cluster.machine import Machine
+    from repro.metrics.trace import Trace
     from repro.sim.engine import Environment
     from repro.slurm.controller import SlurmConfig, SlurmController
     from repro.slurm.job import Job
@@ -125,7 +153,9 @@ def replay_sched_trace(
         SlurmConfig(
             incremental_queue=incremental,
             backfill_interval=backfill_interval,
+            retain_finished=not lean,
         ),
+        trace=Trace(retain=not lean),
     )
     runtimes: Dict[int, float] = {}
 
@@ -161,14 +191,33 @@ def replay_sched_trace(
         "mode": "incremental" if incremental else "legacy",
         "jobs": len(trace),
         "nodes": num_nodes,
+        "lean": lean,
         "wall_s": wall,
         "makespan_s": env.now,
         "sim_events": env.events_processed,
+        "events_per_sec": env.events_processed / wall if wall else 0.0,
+        "peak_rss_mb": peak_rss_mb(),
         "wall_us_per_pass": (
             1e6 * wall / stats["passes"] if stats["passes"] else 0.0
         ),
         **stats,
     }
+
+
+def peak_rss_mb() -> float:
+    """Process peak RSS in MiB (the kernel's high-water mark).
+
+    Monotone over the process lifetime: a bench row's value is the
+    high-water mark *as of the end of that replay*, so only the largest
+    (last) replay's number bounds the bench itself.
+    """
+    import resource
+    import sys
+
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    divisor = 1024.0 if sys.platform != "darwin" else 1024.0 * 1024.0
+    return rss / divisor
 
 
 def autosize_cluster(trace, target_utilization: float = 0.9) -> int:
@@ -192,6 +241,7 @@ def run_sched_bench(
     legacy: bool = True,
     legacy_cap: int = SCHED_LEGACY_CAP,
     progress=None,
+    profile_path: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run the scheduler-scale bench; returns the BENCH_sched.json payload.
 
@@ -199,7 +249,12 @@ def run_sched_bench(
     with the legacy resort-per-pass scheduler (up to ``legacy_cap``
     jobs), and record the comparison-work and wall-clock ratios.  The
     smallest size is additionally replayed from an SWF round trip of the
-    trace, covering the real-log import path.
+    trace, covering the real-log import path.  Sizes at or above
+    ``SCHED_LEAN_MIN`` replay lean (flat memory, see
+    :func:`replay_sched_trace`).
+
+    ``profile_path`` wraps the *largest* size's incremental replay in
+    cProfile and dumps pstats data there (the CI flamegraph artifact).
     """
     from repro.workload.generator import sched_trace, sched_trace_via_swf
 
@@ -210,11 +265,27 @@ def run_sched_bench(
     traces: Dict[str, object] = {}
     generated = {}
     for size in sizes:
-        trace = generated.setdefault(size, sched_trace(size, seed=seed))
-        say(f"replaying {size}-job trace (incremental scheduler)")
-        entry: Dict[str, object] = {
-            "incremental": replay_sched_trace(trace, incremental=True)
-        }
+        if size not in generated:
+            say(f"generating {size}-job Feitelson trace")
+            generated[size] = sched_trace(size, seed=seed)
+        trace = generated[size]
+        lean = size >= SCHED_LEAN_MIN
+        say(
+            f"replaying {size}-job trace (incremental scheduler"
+            + (", lean)" if lean else ")")
+        )
+        if profile_path is not None and size == max(sizes):
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            incremental = replay_sched_trace(trace, incremental=True, lean=lean)
+            profiler.disable()
+            profiler.dump_stats(profile_path)
+            say(f"profile of the {size}-job replay written to {profile_path}")
+        else:
+            incremental = replay_sched_trace(trace, incremental=True, lean=lean)
+        entry: Dict[str, object] = {"incremental": incremental}
         if legacy and size <= legacy_cap:
             say(f"replaying {size}-job trace (legacy scheduler)")
             entry["legacy"] = replay_sched_trace(trace, incremental=False)
@@ -260,6 +331,81 @@ def speedup_of(
         "wall_ratio": ratio("wall_s"),
         "wall_per_pass_ratio": ratio("wall_us_per_pass"),
     }
+
+
+def bench_drift(
+    committed: Dict[str, object],
+    fresh: Dict[str, object],
+    _path: str = "",
+) -> "list[str]":
+    """Deterministic-metric differences between two sched-bench payloads.
+
+    Compares only the keys present in *both* payloads and skips
+    ``VOLATILE_BENCH_KEYS`` (timestamps, wall-clock, RSS) entirely — a
+    check that diffs ``generated_unix`` fails on every run by
+    construction, which is exactly the bug this helper exists to fix.
+    Returns human-readable ``path: committed != fresh`` lines (empty
+    means no drift).
+    """
+    drifts: list = []
+    shared = (committed.keys() & fresh.keys()) - VOLATILE_BENCH_KEYS
+    for key in sorted(shared):
+        where = f"{_path}.{key}" if _path else str(key)
+        old, new = committed[key], fresh[key]
+        if isinstance(old, dict) and isinstance(new, dict):
+            drifts.extend(bench_drift(old, new, where))
+        elif old != new:
+            drifts.append(f"{where}: committed {old!r} != fresh {new!r}")
+    return drifts
+
+
+def check_sched_bench(
+    path: str = SCHED_BENCH_PATH,
+    size: Optional[int] = None,
+    progress=None,
+) -> "list[str]":
+    """Re-run one committed bench size and report deterministic drift.
+
+    Loads the committed payload at ``path``, replays its smallest trace
+    size (or ``size``) with the committed seed, and compares the
+    deterministic scheduler metrics via :func:`bench_drift`.  Returns
+    the drift lines; an empty list means the committed numbers still
+    describe the current scheduler.
+    """
+    from repro.errors import SweepError
+
+    try:
+        with open(path, encoding="utf-8") as fh:
+            committed = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise SweepError(f"cannot read committed bench {path}: {exc}") from exc
+    committed_sizes = sorted(int(s) for s in committed.get("traces", {}))
+    if not committed_sizes:
+        raise SweepError(f"{path} has no trace entries to check against")
+    if size is None:
+        size = committed_sizes[0]
+    elif size not in committed_sizes:
+        raise SweepError(
+            f"size {size} not in committed bench (has {committed_sizes})"
+        )
+    entry = committed["traces"][str(size)]
+    fresh = run_sched_bench(
+        sizes=[size],
+        seed=int(committed.get("seed", DEFAULT_BASE_SEED)),
+        legacy="legacy" in entry,
+        progress=progress,
+    )
+    drifts = bench_drift(entry, fresh["traces"][str(size)], f"traces.{size}")
+    swf = committed.get("swf_roundtrip", {}).get(str(size))
+    if swf is not None:
+        drifts.extend(
+            bench_drift(
+                swf,
+                fresh["swf_roundtrip"][str(size)],
+                f"swf_roundtrip.{size}",
+            )
+        )
+    return drifts
 
 
 def _version() -> str:

@@ -17,7 +17,18 @@ that intentionally drives the simulation into an illegal state::
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-slow",
+        action="store_true",
+        default=False,
+        help="run tests marked slow (e.g. the million-job scale bench)",
+    )
 
 
 def pytest_configure(config):
@@ -26,6 +37,22 @@ def pytest_configure(config):
         "no_invariants: disable the automatic InvariantObserver wiring "
         "for this test (it intentionally violates a simulation invariant)",
     )
+    config.addinivalue_line(
+        "markers",
+        "slow: multi-minute test, skipped unless --run-slow (or "
+        "REPRO_RUN_SLOW=1) is given",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-slow") or os.environ.get("REPRO_RUN_SLOW"):
+        return
+    skip_slow = pytest.mark.skip(
+        reason="slow test: opt in with --run-slow or REPRO_RUN_SLOW=1"
+    )
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture(autouse=True)

@@ -123,7 +123,7 @@ def fs_workload(
     return WorkloadSpec(name=f"fs-{num_jobs}jobs-seed{seed}", jobs=specs, seed=seed)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SchedTraceJob:
     """One job of a scheduler-scale trace (no application payload).
 

@@ -1,0 +1,130 @@
+"""Differential Hypothesis tests: EventCalendar vs the old global heap.
+
+The calendar replaced the engine's ``(time, priority, serial, event)``
+heap; its one obligation is producing *exactly* the same event order.
+These tests drive both structures with the same random operation
+sequences — heavy on timestamp ties, urgent-after-normal insertions and
+push-during-drain interleavings — and require identical behaviour at
+every step.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.calendar import EventCalendar
+
+#: Few distinct times and priorities → dense tie coverage (the whole
+#: point: discrete-event workloads collapse onto shared timestamps).
+TIMES = st.sampled_from([0.0, 1.0, 1.5, 2.0, 2.5, 10.0])
+PRIORITIES = st.sampled_from([0, 1, 10])
+
+#: An operation: push(time, priority) | pop | peek.
+OPS = st.one_of(
+    st.tuples(st.just("push"), TIMES, PRIORITIES),
+    st.just(("pop",)),
+    st.just(("peek",)),
+)
+
+
+class HeapModel:
+    """The engine's original pending-event structure, verbatim semantics."""
+
+    def __init__(self) -> None:
+        self._heap = []
+        self._serial = count()
+
+    def push(self, time, priority, event):
+        heapq.heappush(self._heap, (time, priority, next(self._serial), event))
+
+    def pop(self):
+        time, priority, _serial, event = heapq.heappop(self._heap)
+        return time, priority, event
+
+    def peek_time(self):
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def __len__(self):
+        return len(self._heap)
+
+
+@settings(max_examples=200)
+@given(ops=st.lists(OPS, max_size=80))
+def test_calendar_matches_reference_heap(ops):
+    calendar, model = EventCalendar(), HeapModel()
+    events = count()
+    for op in ops:
+        if op[0] == "push":
+            _, time, priority = op
+            event = next(events)
+            calendar.push(time, priority, event)
+            model.push(time, priority, event)
+        elif op[0] == "pop":
+            if len(model):
+                assert calendar.pop() == model.pop()
+            else:
+                with pytest.raises(IndexError):
+                    calendar.pop()
+        else:
+            assert calendar.peek_time() == model.peek_time()
+        assert len(calendar) == len(model)
+        assert bool(calendar) == bool(model)
+    # Drain whatever is left: the full residual order must match too.
+    while len(model):
+        assert calendar.pop() == model.pop()
+    assert not calendar
+
+
+@settings(max_examples=100)
+@given(
+    pushes=st.lists(st.tuples(TIMES, PRIORITIES), min_size=1, max_size=40),
+    extra_priority=PRIORITIES,
+)
+def test_push_during_drain_matches_heap(pushes, extra_priority):
+    """Events scheduled *at the current time while draining it* (what a
+    scheduling pass does constantly) keep the exact heap order."""
+    calendar, model = EventCalendar(), HeapModel()
+    events = count()
+    for time, priority in pushes:
+        event = next(events)
+        calendar.push(time, priority, event)
+        model.push(time, priority, event)
+    drained = 0
+    while len(model):
+        got = calendar.pop()
+        assert got == model.pop()
+        if drained % 3 == 0:
+            # Re-enter the just-popped timestamp, as callbacks do.
+            event = next(events)
+            calendar.push(got[0], extra_priority, event)
+            model.push(got[0], extra_priority, event)
+        drained += 1
+    assert not calendar
+
+
+def test_same_timestamp_fifo_ties():
+    """Explicit pin of rule 3: FIFO within (time, priority)."""
+    calendar = EventCalendar()
+    for event in ("a", "b", "c"):
+        calendar.push(5.0, 1, event)
+    calendar.push(5.0, 0, "urgent-late")  # rule 2: jumps the queue
+    assert [calendar.pop()[2] for _ in range(4)] == [
+        "urgent-late", "a", "b", "c",
+    ]
+
+
+def test_peek_time_never_stale():
+    """Rule: the timestamp heap holds exactly the non-empty buckets."""
+    calendar = EventCalendar()
+    calendar.push(3.0, 1, "x")
+    calendar.push(1.0, 1, "y")
+    assert calendar.peek_time() == 1.0
+    calendar.pop()
+    assert calendar.peek_time() == 3.0
+    calendar.pop()
+    assert calendar.peek_time() == float("inf")
