@@ -25,6 +25,7 @@ resize mechanism, not workload jobs; they remain visible in
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -32,9 +33,27 @@ from repro.metrics.timeline import StepSeries, step_series
 from repro.metrics.trace import EventKind, TraceEvent
 from repro.slurm.job import Job
 
+logger = logging.getLogger(__name__)
+
 
 class SessionObserver:
-    """Base class for session observers; every hook defaults to a no-op."""
+    """Base class for session observers; every hook defaults to a no-op.
+
+    Observers are *passengers* of the simulation: by default
+    (``strict = False``) an exception escaping any hook is caught,
+    logged and counted by the dispatching
+    :class:`ObserverDispatch` instead of aborting the run — a
+    disconnecting SSE subscriber or a buggy progress callback must not
+    kill a simulation other consumers are still watching.  Observers
+    whose exceptions *are* the product — the invariant harness in
+    :mod:`repro.testing` — set ``strict = True`` and keep the old
+    fail-the-run behaviour.
+    """
+
+    #: When True, exceptions raised by this observer's hooks propagate
+    #: out of the simulation; when False they are caught, logged and
+    #: counted on the dispatch (``ObserverDispatch.observer_errors``).
+    strict = False
 
     def on_attach(self, controller) -> None:
         """Called once when the observer is wired to a live simulation.
@@ -231,6 +250,12 @@ class ObserverDispatch:
     raw event vocabulary into the typed observer callbacks and resolves
     job ids back to :class:`~repro.slurm.job.Job` objects through the
     controller.
+
+    Non-strict observers (the default) are *isolated*: an exception
+    escaping one of their hooks is caught, logged and tallied in
+    :attr:`observer_errors` instead of aborting the simulation, and the
+    remaining observers still receive the callback.  Strict observers
+    (``observer.strict = True``, e.g. the invariant harness) propagate.
     """
 
     _TYPED_KINDS = {
@@ -250,12 +275,34 @@ class ObserverDispatch:
         #: id -> Job, filled at submission so later events resolve in O(1)
         #: (controller.get_job scans the finished list).
         self._jobs: Dict[int, Job] = {}
+        #: Per-observer-class tally of suppressed callback exceptions.
+        self.observer_errors: Dict[str, int] = {}
         for obs in observers:
-            obs.on_attach(controller)
+            self._safely(obs, obs.on_attach, controller)
+
+    def _safely(self, obs: SessionObserver, hook, *args) -> None:
+        if obs.strict:
+            hook(*args)
+            return
+        try:
+            hook(*args)
+        except Exception:
+            name = type(obs).__name__
+            self.observer_errors[name] = self.observer_errors.get(name, 0) + 1
+            logger.exception(
+                "observer %s raised in %s; suppressed (observer is non-strict)",
+                name,
+                getattr(hook, "__name__", hook),
+            )
+
+    @property
+    def suppressed_errors(self) -> int:
+        """Total number of observer exceptions caught so far."""
+        return sum(self.observer_errors.values())
 
     def __call__(self, event: TraceEvent) -> None:
         for obs in self._observers:
-            obs.on_event(event)
+            self._safely(obs, obs.on_event, event)
         kind = event.kind
         if kind not in self._TYPED_KINDS:
             return
@@ -270,12 +317,12 @@ class ObserverDispatch:
             self._jobs[event.job_id] = job
         for obs in self._observers:
             if kind is EventKind.JOB_SUBMIT:
-                obs.on_submit(event.time, job)
+                self._safely(obs, obs.on_submit, event.time, job)
             elif kind is EventKind.JOB_START:
-                obs.on_start(event.time, job)
+                self._safely(obs, obs.on_start, event.time, job)
             elif kind is EventKind.JOB_REQUEUE:
-                obs.on_requeue(event.time, job)
+                self._safely(obs, obs.on_requeue, event.time, job)
             elif kind in (EventKind.JOB_END, EventKind.JOB_CANCEL):
-                obs.on_complete(event.time, job)
+                self._safely(obs, obs.on_complete, event.time, job)
             else:
-                obs.on_resize(event.time, job, event)
+                self._safely(obs, obs.on_resize, event.time, job, event)

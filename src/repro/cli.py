@@ -16,6 +16,8 @@ Usage::
     python -m repro bench --quick       # emit BENCH_sweep.json
     python -m repro bench sched         # scheduler-scale bench -> BENCH_sched.json
     python -m repro cache ls            # inspect the on-disk result store
+    python -m repro serve               # scheduler-as-a-service HTTP API
+    python -m repro loadgen --quick     # benchmark a running `repro serve`
 
 Artifacts are served from the declarative :mod:`repro.api` registry —
 each ``experiments`` module registers its producers with
@@ -28,6 +30,7 @@ cells are cached in the :mod:`repro.store` result store (disable with
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
@@ -615,14 +618,25 @@ def _cache_mode(argv: List[str]) -> int:
     )
     parser.add_argument("action", choices=("ls", "clear"))
     parser.add_argument("--store", metavar="DIR", default=None)
+    parser.add_argument("--json", action="store_true",
+                        help="emit the ls inventory as JSON (stable "
+                        "ordering; includes hit/miss/put stats)")
     args = parser.parse_args(argv)
 
     from repro.store import default_store
 
     store = default_store(args.store)
     if args.action == "clear":
+        if args.json:
+            print("--json applies to 'ls' only", file=sys.stderr)
+            return 2
         removed = store.clear()
         print(f"removed {removed} record(s) from {store.root}")
+        return 0
+    if args.json:
+        import json
+
+        print(json.dumps(store.listing(), indent=2, sort_keys=True))
         return 0
     entries = store.entries()
     print(f"store {store.root} (salt {store.salt}): {len(entries)} record(s)")
@@ -631,9 +645,133 @@ def _cache_mode(argv: List[str]) -> int:
     return 0
 
 
+def _serve_mode(argv: List[str]) -> int:
+    from repro.serve.app import (
+        DEFAULT_HOST,
+        DEFAULT_PORT,
+        ReproServer,
+        run_server,
+    )
+    from repro.serve.jobs import DEFAULT_QUEUE_LIMIT, DEFAULT_WORKERS
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the scheduler-as-a-service HTTP server "
+        "(REST/JSON API with live SSE event streams).",
+    )
+    parser.add_argument("--host", default=DEFAULT_HOST, metavar="ADDR")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT, metavar="N",
+                        help=f"listen port (default {DEFAULT_PORT}; 0 picks "
+                        "an ephemeral port)")
+    parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS,
+                        metavar="N",
+                        help="simulation worker threads "
+                        f"(default {DEFAULT_WORKERS})")
+    parser.add_argument("--queue-limit", type=int,
+                        default=DEFAULT_QUEUE_LIMIT, metavar="N",
+                        help="max queued submissions before 429 "
+                        f"(default {DEFAULT_QUEUE_LIMIT})")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="result-store directory backing sweeps and "
+                        "artifact rendering")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="serve without a result store")
+    args = parser.parse_args(argv)
+
+    store = _store_for(args)
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        store=store,
+    )
+
+    def announce(srv) -> None:
+        print(f"repro serve: listening on http://{srv.host}:{srv.port} "
+              f"({srv.workers} workers, queue limit {srv.queue_limit})",
+              flush=True)
+
+    run_server(server, announce=announce)
+    print("repro serve: drained and stopped")
+    return 0
+
+
+def _loadgen_mode(argv: List[str]) -> int:
+    from repro.serve.app import DEFAULT_HOST, DEFAULT_PORT
+    from repro.serve.loadgen import (
+        DEFAULT_CLIENTS,
+        DEFAULT_NUM_JOBS,
+        DEFAULT_REQUESTS,
+        Loadgen,
+        LoadgenError,
+        check_report,
+        summarize,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro loadgen",
+        description="Benchmark a running `repro serve` with concurrent "
+        "workload submissions and SSE event streams.",
+    )
+    parser.add_argument("--host", default=DEFAULT_HOST, metavar="ADDR")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT, metavar="N")
+    parser.add_argument("--clients", type=int, default=DEFAULT_CLIENTS,
+                        metavar="N", help="concurrent client sessions "
+                        f"(default {DEFAULT_CLIENTS})")
+    parser.add_argument("--requests", type=int, default=DEFAULT_REQUESTS,
+                        metavar="N", help="total workload submissions "
+                        f"(default {DEFAULT_REQUESTS})")
+    parser.add_argument("--num-jobs", type=int, default=DEFAULT_NUM_JOBS,
+                        metavar="N", help="jobs per submitted workload "
+                        f"(default {DEFAULT_NUM_JOBS})")
+    parser.add_argument("--seed", type=int, default=2017, metavar="S")
+    parser.add_argument("--quick", action="store_true",
+                        help="small CI-sized run (2 clients, 4 requests)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless throughput is non-zero, "
+                        "every job completed and the drain was clean")
+    parser.add_argument("--out", metavar="PATH", default="BENCH_serve.json",
+                        help="report path (default BENCH_serve.json)")
+    args = parser.parse_args(argv)
+
+    clients = 2 if args.quick else args.clients
+    requests = 4 if args.quick else args.requests
+    gen = Loadgen(
+        host=args.host,
+        port=args.port,
+        clients=clients,
+        requests=requests,
+        num_jobs=args.num_jobs,
+        seed=args.seed,
+    )
+    try:
+        report = gen.run()
+    except (LoadgenError, ConnectionError, OSError) as exc:
+        print(f"loadgen failed: {exc}", file=sys.stderr)
+        print(f"(is `repro serve` running on "
+              f"{args.host}:{args.port}?)", file=sys.stderr)
+        return 1
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(summarize(report))
+    print(f"[report written to {args.out}]")
+    if args.check:
+        failures = check_report(report)
+        for failure in failures:
+            print(f"check failed: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
 def main(argv: List[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
+    if argv and argv[0].lower() == "serve":
+        return _serve_mode(argv[1:])
+    if argv and argv[0].lower() == "loadgen":
+        return _loadgen_mode(argv[1:])
     if argv and argv[0].lower() == "sweep":
         return _sweep_mode(argv[1:])
     if argv and argv[0].lower() == "bench":

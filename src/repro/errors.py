@@ -115,6 +115,18 @@ class StoreError(ReproError):
     """The on-disk result store was misused or is unusable."""
 
 
+class ServeError(ReproError):
+    """Scheduler-as-a-service errors (:mod:`repro.serve`)."""
+
+
+class QueueFullError(ServeError):
+    """The service's submission queue is at capacity (HTTP 429)."""
+
+
+class DrainingError(ServeError):
+    """The service is draining and refuses new submissions (HTTP 503)."""
+
+
 class CheckpointError(ReproError):
     """Failure in the checkpoint/restart baseline."""
 

@@ -1,0 +1,369 @@
+"""Background job execution for the scheduler-as-a-service layer.
+
+The :class:`JobManager` owns a bounded worker pool (threads — a
+simulation is pure-Python compute, and threads let the live
+:class:`~repro.api.observers.SessionObserver` machinery bridge events
+straight into the asyncio serving loop, which a process pool cannot).
+Every submission becomes a :class:`ServeJob` that moves through the
+job-state taxonomy::
+
+    PENDING -> RUNNING -> COMPLETED | FAILED
+                        (CANCELLED reserved for operator actions)
+
+— the same vocabulary Slurm's accounting exposes (the subset of Kive's
+``slurmlib`` states this service can reach; a simulated job never sees
+NODE_FAIL from the *service's* perspective — faults happen inside the
+simulation).
+
+Backpressure contract (enforced here, surfaced as HTTP codes by the
+app layer):
+
+* queue at capacity → :class:`~repro.errors.QueueFullError` (429);
+* draining → :class:`~repro.errors.DrainingError` (503); in-flight and
+  queued jobs still run to completion, so a drain never orphans work.
+
+Event streaming: each workload job keeps the canonical line of *every*
+trace event (the exact rendering golden traces are pinned on), appended
+live by an :class:`EventBridge` observer from the worker thread.  SSE
+subscribers replay the buffer from any cursor and wait on an
+:class:`asyncio.Event` for more — so a late subscriber to a finished
+job replays the identical stream a live subscriber saw.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import DrainingError, QueueFullError, ServeError
+from repro.api.observers import SessionObserver
+from repro.metrics.trace import canonical_line
+
+#: Job-state vocabulary (terminal states are frozenset'd below).
+PENDING = "PENDING"
+RUNNING = "RUNNING"
+COMPLETED = "COMPLETED"
+FAILED = "FAILED"
+CANCELLED = "CANCELLED"
+TERMINAL_STATES = frozenset({COMPLETED, FAILED, CANCELLED})
+
+#: Defaults for the service's capacity knobs.
+DEFAULT_WORKERS = 2
+DEFAULT_QUEUE_LIMIT = 64
+
+
+class ServeJob:
+    """One submitted unit of background work (workload run or sweep)."""
+
+    def __init__(self, job_id: str, kind: str, params: dict,
+                 loop: asyncio.AbstractEventLoop) -> None:
+        self.id = job_id
+        self.kind = kind  # "workload" | "sweep"
+        self.params = params
+        self._loop = loop
+        self._lock = threading.Lock()
+        self._waiters: Set[asyncio.Event] = set()
+        self.state = PENDING
+        self.submitted_unix = time.time()
+        self.started_unix: Optional[float] = None
+        self.finished_unix: Optional[float] = None
+        self.result: Optional[dict] = None
+        self.error: Optional[str] = None
+        self.progress: Dict[str, int] = {}
+        self._events: List[str] = []
+        #: Installed by the manager at submit time: the parsed workload
+        #: (workload jobs) or the expanded grid (sweep jobs).
+        self.workload_spec = None
+        self.sweep = None
+
+    # -- event buffer (worker thread writes, loop thread reads) -------------
+    def append_event(self, line: str) -> None:
+        with self._lock:
+            self._events.append(line)
+        self._notify()
+
+    def events_since(self, cursor: int) -> Tuple[List[str], bool, int]:
+        """(new lines, job-is-terminal, total) snapshot from ``cursor``."""
+        with self._lock:
+            lines = self._events[cursor:]
+            return lines, self.state in TERMINAL_STATES, len(self._events)
+
+    def event_count(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    # -- waiting (loop thread) ----------------------------------------------
+    def _notify(self) -> None:
+        def wake() -> None:
+            for waiter in list(self._waiters):
+                waiter.set()
+
+        try:
+            self._loop.call_soon_threadsafe(wake)
+        except RuntimeError:
+            pass  # loop already closed (server shutting down)
+
+    async def wait_change(self, timeout: float = 0.5) -> None:
+        """Wait until new events/state may be available (or timeout).
+
+        The timeout makes the wait robust against any lost-wakeup race:
+        the subscriber re-reads the buffer after every return anyway.
+        """
+        waiter = asyncio.Event()
+        self._waiters.add(waiter)
+        try:
+            await asyncio.wait_for(waiter.wait(), timeout)
+        except asyncio.TimeoutError:
+            pass
+        finally:
+            self._waiters.discard(waiter)
+
+    # -- state transitions (worker thread) ----------------------------------
+    def mark_running(self) -> None:
+        with self._lock:
+            self.state = RUNNING
+            self.started_unix = time.time()
+        self._notify()
+
+    def set_progress(self, done: int, total: int) -> None:
+        with self._lock:
+            self.progress = {"done": done, "total": total}
+        self._notify()
+
+    def finish(self, result: Optional[dict] = None,
+               error: Optional[str] = None) -> None:
+        with self._lock:
+            self.state = FAILED if error is not None else COMPLETED
+            self.result = result
+            self.error = error
+            self.finished_unix = time.time()
+        self._notify()
+
+    # -- wire form -----------------------------------------------------------
+    def snapshot(self, include_result: bool = True) -> dict:
+        with self._lock:
+            payload = {
+                "id": self.id,
+                "kind": self.kind,
+                "state": self.state,
+                "params": self.params,
+                "submitted_unix": self.submitted_unix,
+                "started_unix": self.started_unix,
+                "finished_unix": self.finished_unix,
+                "events": len(self._events),
+            }
+            if self.progress:
+                payload["progress"] = dict(self.progress)
+            if self.error is not None:
+                payload["error"] = self.error
+            if include_result and self.result is not None:
+                payload["result"] = self.result
+            return payload
+
+
+class EventBridge(SessionObserver):
+    """Streams every trace event into the job's SSE buffer, live.
+
+    Non-strict by construction (the :class:`SessionObserver` default):
+    if buffering ever failed, the dispatch would log and count it
+    rather than abort a simulation other subscribers are watching.
+    """
+
+    def __init__(self, job: ServeJob) -> None:
+        self._job = job
+
+    def on_event(self, event) -> None:
+        self._job.append_event(canonical_line(event))
+
+
+class SweepProgressBridge:
+    """SweepObserver updating a sweep job's polled progress counters."""
+
+    def __init__(self, job: ServeJob, total: int) -> None:
+        self._job = job
+        self._done = 0
+        self._total = total
+        job.set_progress(0, total)
+
+    def on_cell_start(self, index, total, spec) -> None:
+        pass
+
+    def on_cell_done(self, index, total, outcome) -> None:
+        self._done += 1
+        self._job.set_progress(self._done, self._total)
+
+
+class JobManager:
+    """Bounded worker pool + job registry + drain lifecycle."""
+
+    def __init__(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        workers: int = DEFAULT_WORKERS,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        store=None,
+        registry=None,
+    ) -> None:
+        if workers < 1:
+            raise ServeError(f"workers must be >= 1, got {workers}")
+        if queue_limit < 1:
+            raise ServeError(f"queue_limit must be >= 1, got {queue_limit}")
+        self._loop = loop
+        self.workers = workers
+        self.queue_limit = queue_limit
+        self.store = store
+        self.registry = registry
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, ServeJob] = {}
+        self._serial = 0
+        self.draining = False
+        self._running = 0
+        self.max_concurrent = 0
+        self.submitted_total = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    def drain(self) -> dict:
+        """Refuse new submissions; let queued + running jobs finish."""
+        self.draining = True
+        return self.status()
+
+    def resume(self) -> dict:
+        self.draining = False
+        return self.status()
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._executor.shutdown(wait=wait)
+
+    # -- accounting ----------------------------------------------------------
+    def status(self) -> dict:
+        with self._lock:
+            by_state: Dict[str, int] = {}
+            for job in self._jobs.values():
+                by_state[job.state] = by_state.get(job.state, 0) + 1
+            pending = by_state.get(PENDING, 0)
+            running = by_state.get(RUNNING, 0)
+            return {
+                "state": "draining" if self.draining else "serving",
+                "queue_depth": pending,
+                "running": running,
+                "active": pending + running,
+                "by_state": by_state,
+                "max_concurrent": self.max_concurrent,
+                "submitted_total": self.submitted_total,
+                "workers": self.workers,
+                "queue_limit": self.queue_limit,
+            }
+
+    def get(self, job_id: str) -> Optional[ServeJob]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[ServeJob]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    # -- submission ----------------------------------------------------------
+    def _admit(self, kind: str, params: dict) -> ServeJob:
+        if self.draining:
+            raise DrainingError(
+                "service is draining; new submissions are refused"
+            )
+        with self._lock:
+            pending = sum(
+                1 for j in self._jobs.values() if j.state == PENDING
+            )
+            if pending >= self.queue_limit:
+                raise QueueFullError(
+                    f"submission queue is full ({pending} pending, "
+                    f"limit {self.queue_limit}); retry later"
+                )
+            self._serial += 1
+            job_id = f"{kind[0]}{self._serial:06d}"
+            job = ServeJob(job_id, kind, params, self._loop)
+            self._jobs[job_id] = job
+            self.submitted_total += 1
+        return job
+
+    def submit_workload(self, params: dict, workload_spec) -> ServeJob:
+        """Queue one workload simulation (spec already validated)."""
+        job = self._admit("workload", params)
+        job.workload_spec = workload_spec
+        self._executor.submit(self._run_workload, job)
+        return job
+
+    def submit_sweep(self, params: dict, sweep) -> ServeJob:
+        """Queue one background sweep (grid already validated)."""
+        job = self._admit("sweep", params)
+        job.sweep = sweep
+        self._executor.submit(self._run_sweep, job)
+        return job
+
+    # -- worker bodies (worker threads) --------------------------------------
+    def _enter_run(self, job: ServeJob) -> None:
+        job.mark_running()
+        with self._lock:
+            self._running += 1
+            self.max_concurrent = max(self.max_concurrent, self._running)
+
+    def _exit_run(self) -> None:
+        with self._lock:
+            self._running -= 1
+
+    def _run_workload(self, job: ServeJob) -> None:
+        from repro.api.session import Session
+        from repro.cluster.configs import ClusterConfig
+        from repro.metrics.trace import trace_digest
+
+        self._enter_run(job)
+        try:
+            params = job.params
+            session = Session(
+                cluster=ClusterConfig(num_nodes=params["nodes"])
+            ).with_seed(params["seed"]).observe(EventBridge(job))
+            result = session.run(
+                job.workload_spec, flexible=params["flexible"]
+            )
+            summary = result.summary
+            job.finish(result={
+                "workload": params["workload"],
+                "flexible": params["flexible"],
+                "summary": summary.as_dict(),
+                "trace_events": len(result.trace),
+                "trace_digest": trace_digest(result.trace),
+            })
+        except BaseException as exc:  # surface everything as FAILED
+            job.finish(error=f"{type(exc).__name__}: {exc}")
+        finally:
+            self._exit_run()
+
+    def _run_sweep(self, job: ServeJob) -> None:
+        from repro.sweep.runner import SweepRunner
+
+        self._enter_run(job)
+        try:
+            sweep = job.sweep
+            runner = SweepRunner(
+                jobs=1,
+                store=self.store,
+                observers=(SweepProgressBridge(job, len(sweep)),),
+            )
+            result = runner.run(sweep)
+            aggregate = result.aggregate()
+            job.finish(result={
+                "cells": len(result),
+                "cached_cells": result.cached_cells,
+                "computed_cells": result.computed_cells,
+                "compute_wall_s": result.compute_wall_time,
+                "events": result.total_events(),
+                "aggregate_csv": aggregate.as_csv(),
+            })
+        except BaseException as exc:
+            job.finish(error=f"{type(exc).__name__}: {exc}")
+        finally:
+            self._exit_run()

@@ -80,6 +80,16 @@ class StoreEntry:
         )
         return f"{self.key[:12]}  {self.size_bytes:>7} B  {axes}"
 
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON form (``repro cache ls --json`` and the server's
+        artifact-listing endpoint emit exactly this)."""
+        return {
+            "key": self.key,
+            "spec": dict(self.spec),
+            "created": self.created,
+            "size_bytes": self.size_bytes,
+        }
+
 
 class ResultStore:
     """A directory of content-addressed JSON records.
@@ -192,6 +202,21 @@ class ResultStore:
 
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses, "puts": self.puts}
+
+    def listing(self) -> Dict[str, Any]:
+        """The store's full JSON-able inventory + live hit/miss stats.
+
+        One shared code path renders both ``repro cache ls --json`` and
+        the server's ``GET /v1/artifacts`` endpoint.  Record ordering is
+        stable: newest first, ties broken by key (see :meth:`entries`),
+        so two listings of the same directory are byte-identical.
+        """
+        return {
+            "root": str(self.root),
+            "salt": self.salt,
+            "records": [entry.as_dict() for entry in self.entries()],
+            "stats": self.stats(),
+        }
 
 
 def default_store(root: Optional[str] = None) -> ResultStore:

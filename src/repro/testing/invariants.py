@@ -44,6 +44,11 @@ _ACTIONABLE = ("expand", "shrink")
 class InvariantObserver(SessionObserver):
     """Checks simulation invariants live, from the trace event stream."""
 
+    #: An invariant violation IS this observer's product: propagate it
+    #: out of the simulation instead of letting the dispatch's
+    #: non-strict isolation (catch/log/count) swallow it.
+    strict = True
+
     def __init__(self, controller=None) -> None:
         self._controller = controller
         self._last_time = float("-inf")

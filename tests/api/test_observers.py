@@ -97,6 +97,67 @@ class TestDispatch:
         assert len(rec.completes) == 6  # 3 fixed + 3 flexible
 
 
+class FaultyObserver(SessionObserver):
+    """Raises from every hook after attach; the SSE-subscriber stand-in."""
+
+    def __init__(self, fail_on=("on_event",)):
+        self.fail_on = fail_on
+        self.seen = 0
+
+    def on_event(self, event):
+        self.seen += 1
+        if "on_event" in self.fail_on:
+            raise RuntimeError("subscriber went away")
+
+    def on_complete(self, time, job):
+        if "on_complete" in self.fail_on:
+            raise RuntimeError("boom in typed hook")
+
+
+class TestDispatchHardening:
+    def test_raising_observer_does_not_abort_the_run(self):
+        faulty = FaultyObserver()
+        rec = Recorder()
+        session = Session(cluster=marenostrum_preliminary()).observe(faulty, rec)
+        run = session.submit(fs_workload(4, seed=3, config=SMALL_FS))
+        result = run.execute()
+        # The run completed, the faulty observer was called throughout,
+        # and the healthy sibling still saw every callback.
+        assert faulty.seen == len(result.trace)
+        assert len(rec.completes) == 4
+        dispatch = run.sim.dispatch
+        assert dispatch.observer_errors["FaultyObserver"] == faulty.seen
+        assert dispatch.suppressed_errors >= faulty.seen
+
+    def test_typed_hook_errors_are_isolated_too(self):
+        faulty = FaultyObserver(fail_on=("on_complete",))
+        rec = Recorder()
+        session = Session(cluster=marenostrum_preliminary()).observe(faulty, rec)
+        run = session.submit(fs_workload(3, seed=1, config=SMALL_FS))
+        run.execute()
+        assert len(rec.completes) == 3
+        assert run.sim.dispatch.observer_errors == {"FaultyObserver": 3}
+
+    def test_strict_observer_still_propagates(self):
+        import pytest
+
+        class StrictFaulty(SessionObserver):
+            strict = True
+
+            def on_submit(self, time, job):
+                raise RuntimeError("strict observers abort the run")
+
+        session = Session(cluster=marenostrum_preliminary()).observe(StrictFaulty())
+        with pytest.raises(RuntimeError, match="strict observers abort"):
+            session.run(fs_workload(2, seed=1, config=SMALL_FS))
+
+    def test_invariant_observer_is_strict(self):
+        from repro.testing import InvariantObserver
+
+        assert InvariantObserver.strict is True
+        assert SessionObserver.strict is False
+
+
 class TestLiveTimelines:
     def test_live_series_match_trace_scraping(self):
         result = run_with(SessionObserver(), num_jobs=6)

@@ -110,6 +110,36 @@ class TestMaintenance:
     def test_empty_store_lists_nothing(self, tmp_path):
         assert ResultStore(tmp_path / "never-created").entries() == []
 
+    def test_listing_is_json_able_and_carries_stats(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(SPEC, {"metrics": {}})
+        store.get(SPEC)          # hit
+        store.get({"seed": 1})   # miss
+        listing = store.listing()
+        json.dumps(listing)  # must round-trip
+        assert listing["root"] == str(tmp_path)
+        assert listing["salt"] == store.salt
+        assert listing["stats"] == {"hits": 1, "misses": 1, "puts": 1}
+        (record,) = listing["records"]
+        assert record["spec"] == SPEC
+        assert record["key"] == store.key_for(SPEC)
+        assert record["size_bytes"] > 0
+
+    def test_listing_ordering_is_stable(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for seed in range(5):
+            store.put({"seed": seed}, "x")
+        # Equalize mtimes-independent ordering: creation timestamps are
+        # read from the records themselves; force exact ties so the key
+        # tiebreak is what orders them.
+        for path in tmp_path.glob("*.json"):
+            record = json.loads(path.read_text())
+            record["created"] = 1000.0
+            path.write_text(json.dumps(record))
+        first = [r["key"] for r in store.listing()["records"]]
+        second = [r["key"] for r in store.listing()["records"]]
+        assert first == second == sorted(first)
+
 
 class TestDefaultStore:
     def test_honours_environment(self, tmp_path, monkeypatch):

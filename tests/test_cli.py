@@ -1,5 +1,7 @@
 """Tests for the command-line interface (registry-driven)."""
 
+import json
+
 import pytest
 
 import repro.cli as cli
@@ -353,6 +355,21 @@ class TestCacheMode:
         assert "removed 2 record(s)" in capsys.readouterr().out
         assert main(["cache", "ls"]) == 0
         assert "0 record(s)" in capsys.readouterr().out
+
+    def test_ls_json(self, capsys):
+        assert main(["sweep", "--artifact", "fig1", "--seeds", "2",
+                     "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls", "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert len(listing["records"]) == 2
+        assert {"hits", "misses", "puts"} <= set(listing["stats"])
+        assert all(r["spec"]["artifact"] == "fig1"
+                   for r in listing["records"])
+
+    def test_clear_rejects_json(self, capsys):
+        assert main(["cache", "clear", "--json"]) == 2
+        assert "'ls' only" in capsys.readouterr().err
 
 
 class TestArtifactStoreCache:
