@@ -41,6 +41,7 @@ from repro.api.session import (
     SessionSpec,
 )
 from repro.errors import SimulationTimeout
+from repro.obs.spans import Telemetry, TelemetryConfig
 
 __all__ = [
     "ArtifactRegistry",
@@ -57,6 +58,8 @@ __all__ = [
     "SessionRun",
     "SessionSpec",
     "SimulationTimeout",
+    "Telemetry",
+    "TelemetryConfig",
     "TimelineObserver",
     "WorkloadResult",
     "artifact",

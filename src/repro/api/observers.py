@@ -31,9 +31,29 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.metrics.timeline import StepSeries, step_series
 from repro.metrics.trace import EventKind, TraceEvent
+from repro.obs.registry import default_registry
 from repro.slurm.job import Job
 
 logger = logging.getLogger(__name__)
+
+
+def observer_error_counter():
+    """The process-wide suppressed-observer-error counter family.
+
+    Get-or-create on the default registry, so the family (and its
+    ``# TYPE`` header in the Prometheus exposition) exists the moment
+    this module is imported — operators can alert on a metric that is
+    present-and-zero rather than absent.
+    """
+    return default_registry().counter(
+        "repro_observer_errors_total",
+        "Suppressed exceptions raised by non-strict session observers.",
+        labels=("observer",),
+    )
+
+
+# Materialize the family eagerly (see docstring above).
+observer_error_counter()
 
 
 class SessionObserver:
@@ -289,6 +309,11 @@ class ObserverDispatch:
         except Exception:
             name = type(obs).__name__
             self.observer_errors[name] = self.observer_errors.get(name, 0) + 1
+            # Mirror the tally into the process-wide registry so the
+            # serve ``/metrics`` exposition (and any other scrape) sees
+            # suppressed observer failures without holding a reference
+            # to this dispatch.  Rare path — never the event hot path.
+            observer_error_counter().inc(observer=name)
             logger.exception(
                 "observer %s raised in %s; suppressed (observer is non-strict)",
                 name,

@@ -19,6 +19,7 @@ from repro.metrics.timeline import (
     running_jobs_series,
 )
 from repro.metrics.trace import Trace
+from repro.obs.spans import Telemetry
 from repro.slurm.job import Job
 
 
@@ -38,6 +39,9 @@ class WorkloadResult:
     trace: Trace
     summary: WorkloadSummary
     timelines: Optional[LiveTimelines] = None
+    #: The run's span recorder when the session enabled telemetry
+    #: (:meth:`~repro.api.session.Session.with_telemetry`).
+    telemetry: Optional["Telemetry"] = None
 
     @property
     def makespan(self) -> float:

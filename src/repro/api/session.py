@@ -32,6 +32,7 @@ from repro.cluster.machine import Machine
 from repro.errors import SimulationTimeout
 from repro.faults import FaultInjector, FaultPlan, install_faults
 from repro.metrics.summary import summarize
+from repro.obs.spans import Telemetry, TelemetryConfig
 from repro.runtime.nanos import RuntimeConfig, install_runtime_launcher
 from repro.sim.engine import Environment
 from repro.sim.rng import RandomStreams
@@ -60,6 +61,8 @@ class LiveSimulation:
     dispatch: Optional[ObserverDispatch] = None
     #: The fault injector driving the session's fault plan, if any.
     injector: Optional[FaultInjector] = None
+    #: The live span recorder, when the session enabled telemetry.
+    telemetry: Optional[Telemetry] = None
 
 
 @dataclass(frozen=True)
@@ -81,6 +84,7 @@ class SessionSpec:
     seed: Optional[int] = None
     max_sim_time: float = DEFAULT_MAX_SIM_TIME
     faults: Optional[FaultPlan] = None
+    telemetry: Optional[TelemetryConfig] = None
 
     def build(self) -> "Session":
         """Reconstitute the session this spec describes."""
@@ -91,6 +95,7 @@ class SessionSpec:
             seed=self.seed,
             max_sim_time=self.max_sim_time,
             faults=self.faults,
+            telemetry=self.telemetry,
         )
 
 
@@ -105,6 +110,7 @@ class Session:
     observers: Tuple[SessionObserver, ...] = ()
     max_sim_time: float = DEFAULT_MAX_SIM_TIME
     faults: Optional[FaultPlan] = None
+    telemetry: Optional[TelemetryConfig] = None
 
     # -- builder steps -----------------------------------------------------
     def with_cluster(self, cluster: ClusterConfig) -> "Session":
@@ -145,6 +151,30 @@ class Session:
         """
         return replace(self, faults=plan)
 
+    def with_telemetry(
+        self,
+        config: Optional[TelemetryConfig] = None,
+        correlation_id: Optional[str] = None,
+        max_spans: Optional[int] = None,
+    ) -> "Session":
+        """Enable span recording for every run of this session.
+
+        Each :meth:`build` mints a fresh :class:`~repro.obs.spans.
+        Telemetry` recorder from this config and hands it to the
+        controller and runtime; the recorder comes back on
+        :attr:`LiveSimulation.telemetry` and on the run's
+        :class:`~repro.api.results.WorkloadResult`.  Telemetry records
+        no trace events, so canonical traces (and their golden digests)
+        are byte-identical with or without it.
+        """
+        if config is None:
+            config = self.telemetry or TelemetryConfig()
+        if correlation_id is not None:
+            config = replace(config, correlation_id=correlation_id)
+        if max_spans is not None:
+            config = replace(config, max_spans=max_spans)
+        return replace(self, telemetry=config)
+
     def observe(self, *observers: SessionObserver) -> "Session":
         """Attach observers; they receive live events from every run."""
         return replace(self, observers=self.observers + tuple(observers))
@@ -158,6 +188,7 @@ class Session:
             seed=self.seed,
             max_sim_time=self.max_sim_time,
             faults=self.faults,
+            telemetry=self.telemetry,
         )
 
     @classmethod
@@ -200,6 +231,10 @@ class Session:
         env = Environment()
         machine = cluster.build_machine()
         controller = SlurmController(env, machine, config=self.slurm)
+        telemetry = None
+        if self.telemetry is not None:
+            telemetry = Telemetry(self.telemetry)
+            controller.telemetry = telemetry
         install_runtime_launcher(controller, cluster, self.runtime)
         observers = self.observers + tuple(extra_observers)
         dispatch = None
@@ -213,6 +248,7 @@ class Session:
             controller=controller,
             dispatch=dispatch,
             injector=injector,
+            telemetry=telemetry,
         )
 
     def submit(self, spec: WorkloadSpec, flexible: bool = True) -> "SessionRun":
@@ -318,4 +354,5 @@ class SessionRun:
             trace=controller.trace,
             summary=summary,
             timelines=self.timeline.snapshot(),
+            telemetry=self.sim.telemetry,
         )

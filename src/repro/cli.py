@@ -286,6 +286,112 @@ def _resilience_mode(argv: List[str]) -> int:
     return 0
 
 
+# -- trace mode ---------------------------------------------------------------
+
+def _build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Run one telemetry-enabled scenario and export its "
+        "spans plus the per-job timeline as a Chrome trace-event JSON "
+        "file, loadable at https://ui.perfetto.dev.",
+    )
+    parser.add_argument("scenario", nargs="?", default="fig1",
+                        help="named scenario (default: fig1 — the DMR "
+                        "rendition of the Section VIII testbed under an "
+                        "MTBF-sampled fault plan, so scheduler passes, "
+                        "reconfigurations and fault injections all appear)")
+    parser.add_argument("--workload", choices=("fs", "realapps"),
+                        default="fs", help="workload family (default fs)")
+    parser.add_argument("--num-jobs", type=int, default=None, metavar="N",
+                        help="workload size (default 20; 14 with --quick)")
+    parser.add_argument("--seed", type=int, default=None, metavar="S",
+                        help="base seed (default 2017)")
+    parser.add_argument("--mtbf", type=float, default=None, metavar="S",
+                        help="cluster-wide MTBF of the injected fault plan "
+                        "in seconds (default 500)")
+    parser.add_argument("--max-spans", type=int, default=None, metavar="N",
+                        help="span-buffer bound (default 100000; overflow "
+                        "is counted, not fatal)")
+    parser.add_argument("--out", metavar="FILE", default="trace.json",
+                        help="output path (default trace.json)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run (smaller workload)")
+    return parser
+
+
+def _trace_mode(argv: List[str]) -> int:
+    from repro.api import Session
+    from repro.cluster.configs import marenostrum_preliminary
+    from repro.errors import SimulationTimeout, TelemetryError
+    from repro.experiments.resilience import (
+        HORIZON_FACTOR,
+        REPAIR_TIME,
+        RESILIENCE_NUM_JOBS,
+        RESILIENCE_QUICK_NUM_JOBS,
+    )
+    from repro.faults import FaultPlan
+    from repro.obs.perfetto import export_perfetto
+
+    args = _build_trace_parser().parse_args(argv)
+    if args.scenario.lower() != "fig1":
+        print(f"unknown trace scenario {args.scenario!r}; known: fig1",
+              file=sys.stderr)
+        return 2
+    seed = 2017 if args.seed is None else args.seed
+    num_jobs = args.num_jobs if args.num_jobs is not None else (
+        RESILIENCE_QUICK_NUM_JOBS if args.quick else RESILIENCE_NUM_JOBS
+    )
+    mtbf = 500.0 if args.mtbf is None else args.mtbf
+
+    base = Session(cluster=marenostrum_preliminary()).with_seed(seed)
+    spec = (base.fs_workload(num_jobs) if args.workload == "fs"
+            else base.realapp_workload(num_jobs))
+    # Same shape as the resilience artifact: measure to a horizon a hair
+    # above the fault-free rigid makespan, with an MTBF-sampled plan.
+    baseline = base.run(spec, flexible=False)
+    horizon = HORIZON_FACTOR * baseline.summary.makespan
+    plan = FaultPlan.from_mtbf(
+        mtbf=mtbf,
+        horizon=horizon,
+        num_nodes=base.cluster.num_nodes,
+        seed=seed,
+        repair_time=REPAIR_TIME,
+    )
+    cid = f"trace-{args.scenario.lower()}-{seed}"
+    session = base.with_faults(plan).with_telemetry(
+        correlation_id=cid, max_spans=args.max_spans
+    )
+    run = session.submit(spec, flexible=True)
+    try:
+        run.execute(horizon)
+    except SimulationTimeout:
+        pass  # horizon cut the run short; spans up to the cut still export
+    telemetry = run.sim.telemetry
+    try:
+        info = export_perfetto(
+            args.out,
+            spans=telemetry.spans,
+            trace=run.sim.controller.trace,
+            correlation_id=cid,
+            dropped=telemetry.dropped,
+        )
+    except TelemetryError as exc:
+        print(f"trace export failed: {exc}", file=sys.stderr)
+        return 1
+    counts = telemetry.counts_by_name()
+    print(
+        f"{args.scenario.lower()}: {num_jobs} {args.workload} jobs, "
+        f"mtbf {mtbf:g}s, horizon {horizon:.0f}s (cid {cid})"
+    )
+    for name in sorted(counts):
+        print(f"  {counts[name]:>5}  {name}")
+    print(
+        f"[{info['events']} trace events on {info['tracks']} tracks "
+        f"({telemetry.dropped} spans dropped) written to {info['path']}]"
+    )
+    return 0
+
+
 # -- sweep / bench / cache modes ---------------------------------------------
 
 def _csv_list(cast, kind: str):
@@ -382,6 +488,9 @@ def _build_sweep_parser() -> argparse.ArgumentParser:
                         help="result-store directory")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk result store")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="collect per-cell telemetry spans and export "
+                        "them as a Perfetto-loadable Chrome trace to FILE")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-cell progress on stderr")
     return parser
@@ -419,9 +528,16 @@ def _sweep_mode(argv: List[str]) -> int:
             print(f"unknown artifact(s): {', '.join(unknown)}; try 'repro list'",
                   file=sys.stderr)
             return 2
+    telemetry_config = None
+    if args.trace is not None:
+        from repro.obs.spans import TelemetryConfig
+
+        telemetry_config = TelemetryConfig(correlation_id="sweep")
     try:
         runner = SweepRunner(
-            jobs=args.jobs, store=store, observers=_sweep_progress(args.quiet)
+            jobs=args.jobs, store=store,
+            observers=_sweep_progress(args.quiet),
+            telemetry=telemetry_config,
         )
         result = runner.run(sweep)
     except SimulationTimeout as exc:
@@ -444,6 +560,32 @@ def _sweep_mode(argv: List[str]) -> int:
             f"completions, {events['resizes']} resizes"
         )
     _report_store(store)
+    if args.trace is not None:
+        from repro.errors import TelemetryError
+        from repro.obs.perfetto import export_perfetto
+        from repro.obs.spans import Span
+
+        spans = []
+        for cell in result.cells:
+            for data in cell.spans:
+                span = Span.from_dict(data)
+                cid = data.get("cid")
+                # One track group per cell so concurrent cells' sim
+                # clocks do not interleave on a shared track.
+                if cid and span.track != "sweep":
+                    span.track = f"{cid}/{span.track}"
+                spans.append(span)
+        try:
+            info = export_perfetto(
+                args.trace, spans=spans, correlation_id="sweep"
+            )
+        except TelemetryError as exc:
+            print(f"trace export failed: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"[{info['events']} trace events on {info['tracks']} tracks "
+            f"written to {info['path']}]"
+        )
     if args.csv == "-":
         print(aggregate.as_csv(), end="")
     elif args.csv is not None:
@@ -507,6 +649,10 @@ def _build_bench_sched_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile", metavar="FILE", default=None,
                         help="dump cProfile pstats of the largest "
                         "incremental replay to FILE")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="export telemetry spans of the largest "
+                        "incremental replay as a Perfetto-loadable "
+                        "Chrome trace to FILE")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress progress lines on stderr")
     return parser
@@ -556,6 +702,7 @@ def _bench_sched_mode(argv: List[str]) -> int:
                     else args.legacy_cap),
         progress=progress,
         profile_path=args.profile,
+        trace_path=args.trace,
     )
     path = write_bench(data, args.out if args.out else SCHED_BENCH_PATH)
     for size, entry in data["traces"].items():
@@ -780,6 +927,8 @@ def main(argv: List[str] | None = None) -> int:
         return _cache_mode(argv[1:])
     if argv and argv[0].lower() == "resilience":
         return _resilience_mode(argv[1:])
+    if argv and argv[0].lower() == "trace":
+        return _trace_mode(argv[1:])
     args = build_parser().parse_args(argv)
     if args.artifacts[0].lower() == "run":
         if len(args.artifacts) > 1:

@@ -103,6 +103,11 @@ class TraceStreamError(TraceError):
     end-of-stream footer (crash mid-spill), or a count/digest mismatch."""
 
 
+class TelemetryError(ReproError):
+    """Telemetry misuse or an invalid/ill-formed exported trace file
+    (:mod:`repro.obs`)."""
+
+
 class WorkloadError(ReproError):
     """Invalid workload-generation parameters."""
 

@@ -83,6 +83,14 @@ class FaultInjector:
             return
         if applied:
             self.injected += 1
+            telemetry = self.controller.telemetry
+            if telemetry is not None:
+                # Applied injections also land on the span timeline, so
+                # fault instants survive even on non-retaining traces.
+                telemetry.instant(
+                    "fault.inject", self.env.now, track="faults",
+                    kind=kind.value, node=event.node,
+                )
         else:
             self.skipped += 1
 

@@ -1,136 +1,26 @@
-"""Fixed-bucket latency histograms (server metrics + loadgen).
+"""Compatibility shim: :class:`LatencyHistogram` moved to ``repro.obs``.
 
-A :class:`LatencyHistogram` is a Prometheus-style histogram with
-geometric bucket bounds: observations are O(1) to record, the memory
-footprint is a few dozen integers no matter how many requests are
-observed, and quantiles (p50/p99) are estimated by linear interpolation
-inside the bucket that crosses the requested rank.  That estimation
-error is bounded by the bucket ratio (×2 here), which is the right
-trade for service telemetry — the alternative, retaining every sample,
-is exactly what a server absorbing heavy traffic cannot afford.
-
-Both sides of the ``repro serve`` / ``repro loadgen`` pair use this
-class: the server aggregates per-route request latencies for its
-``/metrics`` endpoint, and the load generator aggregates client-side
-latencies for ``BENCH_serve.json``; :meth:`merge` fans worker tallies
-together.
+The histogram grew into the metrics-registry's histogram type, so the
+implementation now lives in :mod:`repro.obs.registry` (the telemetry
+layer must not depend on :mod:`repro.metrics`).  Everything importable
+from here keeps working — serve, loadgen and sweep aggregation all
+predate the move.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    DEFAULT_FIRST_BOUND,
+    DEFAULT_GROWTH,
+    LatencyHistogram,
+    observe_all,
+)
 
-#: Default bucket geometry: 0.1 ms doubling up to ~104 s (21 finite
-#: buckets + overflow), which spans everything from an in-memory status
-#: lookup to a full workload simulation behind one request.
-DEFAULT_FIRST_BOUND = 0.0001
-DEFAULT_BUCKETS = 21
-DEFAULT_GROWTH = 2.0
-
-
-class LatencyHistogram:
-    """Streaming histogram over non-negative durations in seconds."""
-
-    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
-
-    def __init__(
-        self,
-        first_bound: float = DEFAULT_FIRST_BOUND,
-        buckets: int = DEFAULT_BUCKETS,
-        growth: float = DEFAULT_GROWTH,
-    ) -> None:
-        if first_bound <= 0 or buckets < 1 or growth <= 1:
-            raise ValueError(
-                "histogram needs first_bound > 0, buckets >= 1, growth > 1"
-            )
-        bounds: List[float] = []
-        bound = first_bound
-        for _ in range(buckets):
-            bounds.append(bound)
-            bound *= growth
-        #: Upper bounds of the finite buckets; the implicit last bucket
-        #: is (bounds[-1], +inf).
-        self.bounds = tuple(bounds)
-        self.counts = [0] * (buckets + 1)
-        self.count = 0
-        self.total = 0.0
-        self.min: Optional[float] = None
-        self.max: Optional[float] = None
-
-    def observe(self, seconds: float) -> None:
-        """Record one duration (negative values clamp to zero)."""
-        value = 0.0 if seconds < 0 else float(seconds)
-        index = 0
-        for index, bound in enumerate(self.bounds):
-            if value <= bound:
-                break
-        else:
-            index = len(self.bounds)  # overflow bucket
-        self.counts[index] += 1
-        self.count += 1
-        self.total += value
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
-
-    def quantile(self, q: float) -> float:
-        """Estimated q-quantile in seconds (0 for an empty histogram).
-
-        Interpolates linearly inside the crossing bucket; the overflow
-        bucket reports the observed maximum (no upper bound to
-        interpolate toward).
-        """
-        if not 0 <= q <= 1:
-            raise ValueError(f"quantile must be in [0, 1], got {q}")
-        if self.count == 0:
-            return 0.0
-        rank = q * self.count
-        seen = 0
-        for index, count in enumerate(self.counts):
-            if count == 0:
-                continue
-            if seen + count >= rank:
-                if index >= len(self.bounds):
-                    return self.max if self.max is not None else 0.0
-                hi = self.bounds[index]
-                lo = self.bounds[index - 1] if index > 0 else 0.0
-                fraction = (rank - seen) / count
-                return lo + (hi - lo) * fraction
-            seen += count
-        return self.max if self.max is not None else 0.0
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def merge(self, other: "LatencyHistogram") -> None:
-        """Fan another histogram's tallies into this one (same geometry)."""
-        if other.bounds != self.bounds:
-            raise ValueError("cannot merge histograms with different buckets")
-        for index, count in enumerate(other.counts):
-            self.counts[index] += count
-        self.count += other.count
-        self.total += other.total
-        if other.min is not None:
-            self.min = other.min if self.min is None else min(self.min, other.min)
-        if other.max is not None:
-            self.max = other.max if self.max is None else max(self.max, other.max)
-
-    def as_dict(self) -> Dict[str, object]:
-        """JSON form: summary quantiles in ms + the raw bucket counts."""
-        return {
-            "count": self.count,
-            "sum_s": self.total,
-            "mean_ms": 1000.0 * self.mean,
-            "min_ms": 0.0 if self.min is None else 1000.0 * self.min,
-            "max_ms": 0.0 if self.max is None else 1000.0 * self.max,
-            "p50_ms": 1000.0 * self.quantile(0.50),
-            "p99_ms": 1000.0 * self.quantile(0.99),
-            "bucket_bounds_ms": [1000.0 * b for b in self.bounds],
-            "bucket_counts": list(self.counts),
-        }
-
-
-def observe_all(histogram: LatencyHistogram, values: Sequence[float]) -> None:
-    """Record a batch of durations (loadgen convenience)."""
-    for value in values:
-        histogram.observe(value)
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "DEFAULT_FIRST_BOUND",
+    "DEFAULT_GROWTH",
+    "LatencyHistogram",
+    "observe_all",
+]

@@ -152,6 +152,7 @@ class NanosRuntime:
     ) -> Generator[Event, object, None]:
         """Costs a requeued incarnation pays before computing again."""
         job = self.job
+        started_at = self.env.now
         relaunch = (
             self.config.restart_base
             + self.config.restart_per_process * job.num_nodes
@@ -170,15 +171,29 @@ class NanosRuntime:
                 job.job_id,
                 steps=job.checkpoint_steps,
             )
+        telemetry = self.controller.telemetry
+        if telemetry is not None:
+            telemetry.record(
+                "runtime.restart", started_at, self.env.now, track="runtime",
+                job_id=job.job_id, from_steps=job.checkpoint_steps,
+            )
 
     def _checkpoint_write(self) -> Generator[Event, object, None]:
         """Write one periodic checkpoint (the C/R baseline's premium)."""
         job = self.job
+        started_at = self.env.now
         write = self.cluster.storage.write_time(
             self.app.state_bytes, nclients=max(1, job.num_nodes)
         )
         if write > 0:
             yield self.env.timeout(write)
+        telemetry = self.controller.telemetry
+        if telemetry is not None:
+            telemetry.record(
+                "checkpoint.write_window", started_at, self.env.now,
+                track="runtime", job_id=job.job_id,
+                steps=self.app.completed_steps,
+            )
         job.checkpoint_steps = self.app.completed_steps
         self.controller.trace.record(
             self.env.now,
@@ -306,6 +321,7 @@ class NanosRuntime:
         if target <= old:
             return None  # stale asynchronous decision already satisfied
 
+        reconfig_t0 = self.env.now
         nodes = yield from expand_protocol(
             self.controller, job, target, timeout=self.config.resizer_timeout
         )
@@ -325,6 +341,15 @@ class NanosRuntime:
             * self.controller.machine.network_factor
         )
         self.resize_count += 1
+        telemetry = self.controller.telemetry
+        if telemetry is not None:
+            # The reconfiguration window: protocol RPCs + MPI_Comm_spawn
+            # + the Listing 3 data-redistribution network stage.
+            telemetry.record(
+                "runtime.reconfig", reconfig_t0, self.env.now,
+                track="runtime", job_id=job.job_id, action="expand",
+                old_procs=old, new_procs=new,
+            )
         if self.channel is not None:
             self.channel.notify_expand_complete(job, new)
         return OffloadHandler(
@@ -344,6 +369,7 @@ class NanosRuntime:
         if target >= old:
             return None  # stale asynchronous decision already satisfied
 
+        reconfig_t0 = self.env.now
         # Quiesce: outgoing ranks finish their offloaded tasks and ACK to
         # the management node before Slurm may reclaim their nodes.
         releasing = old - target
@@ -374,6 +400,14 @@ class NanosRuntime:
         # Only now is it safe for Slurm to kill processes on released nodes.
         released = shrink_protocol(self.controller, job, target, victims=victims)
         self.resize_count += 1
+        telemetry = self.controller.telemetry
+        if telemetry is not None:
+            telemetry.record(
+                "runtime.reconfig", reconfig_t0, self.env.now,
+                track="runtime", job_id=job.job_id, action="shrink",
+                old_procs=old, new_procs=target,
+                forced=decision.reason is DecisionReason.NODE_FAILURE,
+            )
         if self.channel is not None:
             self.channel.notify_shrink_acks(job, released)
         return OffloadHandler(

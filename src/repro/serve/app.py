@@ -17,14 +17,18 @@ REST surface (all JSON unless noted):
 Method    Path                        Semantics
 ========  ==========================  ==========================================
 GET       /health                     liveness + drain state + active jobs
-GET       /metrics                    request counts, queue depth, latency
-                                      histograms, job-state tallies
+GET       /metrics                    Prometheus text exposition (request
+                                      counts, latency histograms, queue
+                                      depth, observer errors); the JSON
+                                      form via ``Accept: application/json``
 POST      /v1/workloads               submit a workload run (202 + job id;
                                       429 queue full, 503 draining)
 GET       /v1/jobs                    list jobs (snapshots, no results)
 GET       /v1/jobs/{id}               one job: state, progress, result
 GET       /v1/jobs/{id}/events        live trace events as SSE (replays the
                                       full buffer for finished jobs)
+GET       /v1/jobs/{id}/telemetry     the job's recorded spans + correlation
+                                      id (empty while still running)
 POST      /v1/sweeps                  launch a background sweep (polled
                                       progress via /v1/jobs/{id})
 GET       /v1/artifacts               result-store inventory (the same
@@ -53,7 +57,11 @@ import time
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import DrainingError, QueueFullError, ServeError, SweepError
-from repro.metrics.histogram import LatencyHistogram
+from repro.obs.registry import (
+    LatencyHistogram,
+    MetricsRegistry,
+    default_registry,
+)
 from repro.serve.http import (
     HttpError,
     Request,
@@ -61,6 +69,7 @@ from repro.serve.http import (
     error_response,
     json_response,
     read_request,
+    response_bytes,
     sse_frame,
 )
 from repro.serve.jobs import (
@@ -262,39 +271,62 @@ def validate_sweep(payload: dict, registry):
 # -- request metrics ----------------------------------------------------------
 
 class RequestMetrics:
-    """Per-route request counters + latency histograms (loop-thread only)."""
+    """Per-route request counters + latency histograms (loop-thread only).
 
-    def __init__(self) -> None:
-        self.total = 0
-        self.by_route: Dict[str, int] = {}
-        self.by_status: Dict[str, int] = {}
-        self.overall = LatencyHistogram()
-        self.per_route: Dict[str, LatencyHistogram] = {}
+    The tallies live as metric families on a
+    :class:`~repro.obs.registry.MetricsRegistry` (by default the
+    process-wide one), so the same numbers back both the JSON
+    ``/metrics`` payload (:meth:`as_dict`) and the registry's
+    Prometheus text exposition.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else default_registry()
+        self.requests = self.registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by route.",
+            labels=("route",),
+        )
+        self.responses = self.registry.counter(
+            "repro_http_responses_total",
+            "HTTP responses sent, by status code.",
+            labels=("status",),
+        )
+        self.latency = self.registry.histogram(
+            "repro_http_request_duration_seconds",
+            "HTTP request handling time in seconds, by route.",
+            labels=("route",),
+        )
 
     def observe(self, route: str, status: int, seconds: float) -> None:
-        self.total += 1
-        self.by_route[route] = self.by_route.get(route, 0) + 1
-        key = str(status)
-        self.by_status[key] = self.by_status.get(key, 0) + 1
-        self.overall.observe(seconds)
-        hist = self.per_route.get(route)
-        if hist is None:
-            hist = self.per_route[route] = LatencyHistogram()
-        hist.observe(seconds)
+        self.requests.inc(route=route)
+        self.responses.inc(status=str(status))
+        self.latency.observe(seconds, route=route)
+
+    @property
+    def total(self) -> int:
+        return int(sum(c.value for _, c in self.requests.samples()))
 
     def as_dict(self) -> dict:
+        by_route = {v[0]: int(c.value) for v, c in self.requests.samples()}
+        by_status = {v[0]: int(c.value) for v, c in self.responses.samples()}
+        overall = LatencyHistogram()
+        per_route = {}
+        for values, hist in self.latency.samples():
+            per_route[values[0]] = hist
+            overall.merge(hist)
         return {
-            "total": self.total,
-            "by_route": dict(sorted(self.by_route.items())),
-            "by_status": dict(sorted(self.by_status.items())),
-            "latency": self.overall.as_dict(),
+            "total": sum(by_route.values()),
+            "by_route": dict(sorted(by_route.items())),
+            "by_status": dict(sorted(by_status.items())),
+            "latency": overall.as_dict(),
             "latency_by_route": {
                 route: {
                     "count": hist.count,
                     "p50_ms": 1000.0 * hist.quantile(0.5),
                     "p99_ms": 1000.0 * hist.quantile(0.99),
                 }
-                for route, hist in sorted(self.per_route.items())
+                for route, hist in sorted(per_route.items())
             },
         }
 
@@ -312,6 +344,7 @@ class ReproServer:
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
         store=None,
         registry=None,
+        metrics_registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if registry is None:
             from repro.api.registry import builtin_registry
@@ -328,9 +361,41 @@ class ReproServer:
         self.store = store
         self.registry = registry
         self.manager: Optional[JobManager] = None
-        self.metrics = RequestMetrics()
+        # The process-wide registry by default, so one scrape sees the
+        # HTTP families next to everything the simulations publish
+        # (scheduler op tallies, observer errors, store hit/miss).
+        self.metrics_registry = (
+            metrics_registry if metrics_registry is not None
+            else default_registry()
+        )
+        self.metrics = RequestMetrics(self.metrics_registry)
+        self.metrics_registry.register_collector(self._collect_runtime)
         self.started_unix: Optional[float] = None
         self._server: Optional[asyncio.AbstractServer] = None
+
+    def _collect_runtime(self, registry: MetricsRegistry) -> None:
+        """Scrape-time mirror of uptime, job states and queue depth."""
+        if self.started_unix is not None:
+            registry.gauge(
+                "repro_serve_uptime_seconds",
+                "Seconds since the server started listening.",
+            ).set(time.time() - self.started_unix)
+        if self.manager is not None:
+            status = self.manager.status()
+            jobs = registry.gauge(
+                "repro_serve_jobs",
+                "Serve jobs by lifecycle state.",
+                labels=("state",),
+            )
+            for state, count in status["by_state"].items():
+                jobs.set(count, state=state)
+            registry.gauge(
+                "repro_serve_queue_depth", "Serve jobs waiting for a worker.",
+            ).set(status["queue_depth"])
+            registry.counter(
+                "repro_serve_submissions_total",
+                "Serve jobs admitted since process start.",
+            ).set(status["submitted_total"])
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> None:
@@ -420,6 +485,8 @@ class ReproServer:
             ("GET", "/v1/jobs", "GET /v1/jobs", self._list_jobs, False),
             ("GET", rf"/v1/jobs/{self._JOB_ID}/events",
              "GET /v1/jobs/{id}/events", self._stream_events, True),
+            ("GET", rf"/v1/jobs/{self._JOB_ID}/telemetry",
+             "GET /v1/jobs/{id}/telemetry", self._get_telemetry, False),
             ("GET", rf"/v1/jobs/{self._JOB_ID}", "GET /v1/jobs/{id}",
              self._get_job, False),
             ("POST", "/v1/sweeps", "POST /v1/sweeps", self._submit_sweep,
@@ -465,14 +532,21 @@ class ReproServer:
         })
 
     async def _metrics(self, request: Request):
-        payload = {
-            "uptime_s": time.time() - self.started_unix,
-            "requests": self.metrics.as_dict(),
-            "jobs": self.manager.status(),
-        }
-        if self.store is not None:
-            payload["store"] = self.store.stats()
-        return 200, json_response(200, payload)
+        if "application/json" in request.headers.get("accept", ""):
+            payload = {
+                "uptime_s": time.time() - self.started_unix,
+                "requests": self.metrics.as_dict(),
+                "jobs": self.manager.status(),
+            }
+            if self.store is not None:
+                payload["store"] = self.store.stats()
+            return 200, json_response(200, payload)
+        text = self.metrics_registry.render_prometheus()
+        return 200, response_bytes(
+            200,
+            text.encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
 
     async def _submit_workload(self, request: Request):
         params, spec = validate_workload(request.json())
@@ -506,6 +580,12 @@ class ReproServer:
         if job is None:
             raise HttpError(404, f"no such job: {job_id}")
         return 200, json_response(200, job.snapshot())
+
+    async def _get_telemetry(self, request: Request, job_id: str):
+        job = self.manager.get(job_id)
+        if job is None:
+            raise HttpError(404, f"no such job: {job_id}")
+        return 200, json_response(200, job.telemetry_snapshot())
 
     async def _stream_events(self, request: Request, writer, job_id: str):
         job = self.manager.get(job_id)

@@ -78,6 +78,9 @@ class ServeJob:
         #: (workload jobs) or the expanded grid (sweep jobs).
         self.workload_spec = None
         self.sweep = None
+        #: JSON-able span payload set by the worker when the run
+        #: finishes (the job id is the correlation id).
+        self.telemetry: Optional[dict] = None
 
     # -- event buffer (worker thread writes, loop thread reads) -------------
     def append_event(self, line: str) -> None:
@@ -141,6 +144,36 @@ class ServeJob:
             self.error = error
             self.finished_unix = time.time()
         self._notify()
+
+    def set_telemetry(self, correlation_id: Optional[str],
+                      spans: List[dict], dropped: int) -> None:
+        with self._lock:
+            self.telemetry = {
+                "correlation_id": correlation_id,
+                "recorded": len(spans),
+                "dropped": dropped,
+                "spans": spans,
+            }
+
+    def telemetry_snapshot(self) -> dict:
+        """Wire form of ``GET /v1/jobs/{id}/telemetry``.
+
+        Spans land when the run finishes; until then the payload carries
+        the job state and an empty span list, so pollers can tell "not
+        done yet" from "ran without telemetry".
+        """
+        with self._lock:
+            payload = {"id": self.id, "kind": self.kind, "state": self.state}
+            if self.telemetry is None:
+                payload.update({
+                    "correlation_id": self.id,
+                    "recorded": 0,
+                    "dropped": 0,
+                    "spans": [],
+                })
+            else:
+                payload.update(self.telemetry)
+            return payload
 
     # -- wire form -----------------------------------------------------------
     def snapshot(self, include_result: bool = True) -> dict:
@@ -319,16 +352,31 @@ class JobManager:
         from repro.api.session import Session
         from repro.cluster.configs import ClusterConfig
         from repro.metrics.trace import trace_digest
+        from repro.obs.registry import default_registry, publish_sched_stats
 
         self._enter_run(job)
         try:
             params = job.params
-            session = Session(
-                cluster=ClusterConfig(num_nodes=params["nodes"])
-            ).with_seed(params["seed"]).observe(EventBridge(job))
-            result = session.run(
+            session = (
+                Session(cluster=ClusterConfig(num_nodes=params["nodes"]))
+                .with_seed(params["seed"])
+                .observe(EventBridge(job))
+                .with_telemetry(correlation_id=job.id)
+            )
+            run = session.submit(
                 job.workload_spec, flexible=params["flexible"]
             )
+            result = run.execute()
+            publish_sched_stats(
+                default_registry(), run.sim.controller.stats.snapshot()
+            )
+            telemetry = result.telemetry
+            if telemetry is not None:
+                job.set_telemetry(
+                    telemetry.correlation_id,
+                    telemetry.as_dicts(),
+                    telemetry.dropped,
+                )
             summary = result.summary
             job.finish(result={
                 "workload": params["workload"],
@@ -343,6 +391,7 @@ class JobManager:
             self._exit_run()
 
     def _run_sweep(self, job: ServeJob) -> None:
+        from repro.obs.spans import TelemetryConfig
         from repro.sweep.runner import SweepRunner
 
         self._enter_run(job)
@@ -352,8 +401,14 @@ class JobManager:
                 jobs=1,
                 store=self.store,
                 observers=(SweepProgressBridge(job, len(sweep)),),
+                telemetry=TelemetryConfig(correlation_id=job.id),
             )
             result = runner.run(sweep)
+            job.set_telemetry(
+                job.id,
+                [dict(span) for cell in result.cells for span in cell.spans],
+                0,
+            )
             aggregate = result.aggregate()
             job.finish(result={
                 "cells": len(result),

@@ -26,7 +26,7 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ServeError
-from repro.metrics.histogram import LatencyHistogram
+from repro.obs.registry import LatencyHistogram
 
 DEFAULT_CLIENTS = 4
 DEFAULT_REQUESTS = 12
@@ -76,6 +76,9 @@ async def request(
     head = (
         f"{method} {path} HTTP/1.1\r\n"
         f"Host: {host}:{port}\r\n"
+        # A JSON client end to end — /metrics serves its Prometheus
+        # text form to scrapers that do not ask for JSON.
+        f"Accept: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: close\r\n\r\n"
     ).encode("ascii")

@@ -34,6 +34,7 @@ from __future__ import annotations
 from bisect import bisect_left
 from dataclasses import dataclass, field, replace
 from itertools import count
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.machine import Machine
@@ -46,6 +47,7 @@ from repro.core.actions import (
 )
 from repro.errors import SchedulerError
 from repro.metrics.trace import EventKind, Trace
+from repro.obs.spans import Span
 from repro.sim.engine import Environment
 from repro.sim.events import Event
 from repro.slurm.backfill import BF_MAX_JOB_TEST, plan_backfill
@@ -118,6 +120,10 @@ class SlurmController:
         self.finished_count = 0
         #: Hot-path instrumentation (read by ``repro bench sched``).
         self.stats = SchedStats()
+        #: Span recorder (:class:`repro.obs.spans.Telemetry`), installed
+        #: by ``Session.build`` when telemetry is enabled; None keeps
+        #: the scheduling hot path free of any recording cost.
+        self.telemetry = None
         #: Incremental priority queue (None in legacy resort-per-pass mode).
         self.queue: Optional[PendingQueue] = (
             PendingQueue(self.priority_engine, self.stats)
@@ -373,6 +379,7 @@ class SlurmController:
         if self.queue is None:
             self._scheduling_pass_legacy()
             return
+        wall_t0 = perf_counter() if self.telemetry is not None else 0.0
         now = self.env.now
         free = self.machine.free_count
         examined = started = 0
@@ -403,9 +410,10 @@ class SlurmController:
             free -= job.num_nodes
         for job in deferred:
             self.queue.push_back(job)
-        self.stats.record_pass("fifo", examined, started)
+        self._note_pass("fifo", examined, started, wall_t0)
 
     def _scheduling_pass_legacy(self) -> None:
+        wall_t0 = perf_counter() if self.telemetry is not None else 0.0
         free = self.machine.free_count
         examined = started = 0
         for job in self.pending_jobs():
@@ -420,7 +428,24 @@ class SlurmController:
             self._start_job(job)
             started += 1
             free -= job.num_nodes
-        self.stats.record_pass("fifo", examined, started)
+        self._note_pass("fifo", examined, started, wall_t0)
+
+    def _note_pass(self, kind: str, examined: int, started: int,
+                   wall_t0: float) -> None:
+        """Tally a finished pass; span-record it when telemetry is on.
+
+        A pass is instantaneous in simulated time (zero-duration span at
+        ``env.now``); the measured wall-clock cost rides along as an
+        attribute, which is what the bench's overhead pin watches.
+        """
+        self.stats.record_pass(kind, examined, started)
+        if self.telemetry is not None:
+            now = self.env.now
+            self.telemetry.append(Span(
+                "sched.pass", now, now, "sim", "scheduler",
+                {"kind": kind, "examined": examined, "started": started,
+                 "wall_us": (perf_counter() - wall_t0) * 1e6},
+            ))
 
     def _moldable_fit(self, job: Job, free: int) -> Optional[int]:
         """Size a moldable job into ``free`` nodes (largest fit, or None).
@@ -469,6 +494,7 @@ class SlurmController:
         if self.queue is None:
             self._backfill_pass_legacy()
             return
+        wall_t0 = perf_counter() if self.telemetry is not None else 0.0
         # Pop candidates in priority order until bf_max_job_test eligible
         # ones are in hand (dependency-blocked jobs are skipped, exactly
         # like the legacy full-queue filter); everything the planner does
@@ -499,11 +525,12 @@ class SlurmController:
             self.queue.push_back(job)
         for job in starts:
             self._start_job(job)
-        self.stats.record_pass(
-            "backfill", len(eligible) + len(deferred), len(starts)
+        self._note_pass(
+            "backfill", len(eligible) + len(deferred), len(starts), wall_t0
         )
 
     def _backfill_pass_legacy(self) -> None:
+        wall_t0 = perf_counter() if self.telemetry is not None else 0.0
         pending = self.pending_jobs()
         eligible = [j for j in pending if self._dependency_satisfied(j)]
         running = self.running_jobs()
@@ -520,7 +547,7 @@ class SlurmController:
             self.stats.running_end_evals += len(running) + len(starts)
         for job in starts:
             self._start_job(job)
-        self.stats.record_pass("backfill", len(pending), len(starts))
+        self._note_pass("backfill", len(pending), len(starts), wall_t0)
 
     def _start_job(self, job: Job) -> None:
         nodes = self.machine.allocate(job.job_id, job.num_nodes)

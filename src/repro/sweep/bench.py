@@ -123,6 +123,7 @@ def replay_sched_trace(
     incremental: bool = True,
     backfill_interval: float = 30.0,
     lean: bool = False,
+    telemetry=None,
 ) -> Dict[str, object]:
     """Replay a scheduler trace through a bare controller; return stats.
 
@@ -136,6 +137,10 @@ def replay_sched_trace(
     million-job replay holds only the live jobs in memory.  Scheduling
     decisions — and therefore every deterministic stat — are identical
     in both modes.
+
+    ``telemetry`` (a :class:`~repro.obs.spans.Telemetry`) attaches span
+    recording to the replayed controller; the perf budget tests pin its
+    overhead on this exact function.
     """
     from repro.cluster.machine import Machine
     from repro.metrics.trace import Trace
@@ -157,6 +162,8 @@ def replay_sched_trace(
         ),
         trace=Trace(retain=not lean),
     )
+    if telemetry is not None:
+        controller.telemetry = telemetry
     runtimes: Dict[int, float] = {}
 
     def execute(job):
@@ -187,6 +194,9 @@ def replay_sched_trace(
             f"pending, {len(controller.running)} running on {num_nodes} nodes"
         )
     stats = controller.stats.snapshot()
+    if telemetry is not None:
+        stats["spans_recorded"] = len(telemetry.spans)
+        stats["spans_dropped"] = telemetry.dropped
     return {
         "mode": "incremental" if incremental else "legacy",
         "jobs": len(trace),
@@ -242,6 +252,7 @@ def run_sched_bench(
     legacy_cap: int = SCHED_LEGACY_CAP,
     progress=None,
     profile_path: Optional[str] = None,
+    trace_path: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run the scheduler-scale bench; returns the BENCH_sched.json payload.
 
@@ -254,7 +265,9 @@ def run_sched_bench(
     :func:`replay_sched_trace`).
 
     ``profile_path`` wraps the *largest* size's incremental replay in
-    cProfile and dumps pstats data there (the CI flamegraph artifact).
+    cProfile and dumps pstats data there (the CI flamegraph artifact);
+    ``trace_path`` records that same replay's spans and exports them as
+    a Perfetto-loadable Chrome trace-event file.
     """
     from repro.workload.generator import sched_trace, sched_trace_via_swf
 
@@ -274,17 +287,41 @@ def run_sched_bench(
             f"replaying {size}-job trace (incremental scheduler"
             + (", lean)" if lean else ")")
         )
+        telemetry = None
+        if trace_path is not None and size == max(sizes):
+            from repro.obs.spans import Telemetry, TelemetryConfig
+
+            telemetry = Telemetry(
+                TelemetryConfig(correlation_id=f"bench-sched-{size}")
+            )
         if profile_path is not None and size == max(sizes):
             import cProfile
 
             profiler = cProfile.Profile()
             profiler.enable()
-            incremental = replay_sched_trace(trace, incremental=True, lean=lean)
+            incremental = replay_sched_trace(
+                trace, incremental=True, lean=lean, telemetry=telemetry
+            )
             profiler.disable()
             profiler.dump_stats(profile_path)
             say(f"profile of the {size}-job replay written to {profile_path}")
         else:
-            incremental = replay_sched_trace(trace, incremental=True, lean=lean)
+            incremental = replay_sched_trace(
+                trace, incremental=True, lean=lean, telemetry=telemetry
+            )
+        if telemetry is not None:
+            from repro.obs.perfetto import export_perfetto
+
+            exported = export_perfetto(
+                trace_path,
+                spans=telemetry.spans,
+                correlation_id=telemetry.correlation_id,
+                dropped=telemetry.dropped,
+            )
+            say(
+                f"perfetto trace of the {size}-job replay "
+                f"({exported['events']} events) written to {trace_path}"
+            )
         entry: Dict[str, object] = {"incremental": incremental}
         if legacy and size <= legacy_cap:
             say(f"replaying {size}-job trace (legacy scheduler)")

@@ -32,6 +32,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SweepError
+from repro.obs.registry import default_registry, publish_store_stats
+from repro.obs.spans import CLOCK_WALL, Telemetry, TelemetryConfig
 from repro.sweep.aggregate import SweepResult
 from repro.sweep.spec import POLICY_PRESETS, RunSpec, Sweep
 
@@ -48,6 +50,10 @@ class CellOutcome:
     cached: bool
     #: Fanned-in EventCounter tallies (empty for analytic artifacts).
     events: Dict[str, int]
+    #: Span dicts shipped back from the worker when the runner had
+    #: telemetry enabled.  Cache-served payloads written before spans
+    #: existed (or by a telemetry-free run) simply have none.
+    spans: Tuple[Dict[str, object], ...] = ()
 
 
 class SweepObserver:
@@ -162,14 +168,16 @@ def session_spec_for(spec: RunSpec):
     )
 
 
-def _execute_workload_cell(spec: RunSpec, session_observers=()) -> Tuple[
-    Dict[str, float], Dict[str, int]
-]:
+def _execute_workload_cell(
+    spec: RunSpec, session_observers=(), telemetry_config=None
+) -> Tuple[Dict[str, float], Dict[str, int], List[Dict[str, object]]]:
     from repro.api import EventCounter
     from repro.workload.generator import fs_workload, realapp_workload
 
     counter = EventCounter()
     session = session_spec_for(spec).build().observe(counter, *session_observers)
+    if telemetry_config is not None:
+        session = session.with_telemetry(telemetry_config)
     if spec.workload == "fs":
         workload = fs_workload(spec.num_jobs, seed=spec.seed)
     else:
@@ -190,28 +198,52 @@ def _execute_workload_cell(spec: RunSpec, session_observers=()) -> Tuple[
         "flexible_utilization_pct": 100.0 * flexible.utilization_rate,
         "flexible_resizes": float(flexible.resize_count),
     }
-    return metrics, counter.as_dict()
+    spans: List[Dict[str, object]] = []
+    for result in (pair.fixed, pair.flexible):
+        if result.telemetry is None:
+            continue
+        rendition = "flexible" if result.flexible else "fixed"
+        for data in result.telemetry.as_dicts():
+            data.setdefault("attrs", {})["rendition"] = rendition
+            spans.append(data)
+    return metrics, counter.as_dict(), spans
 
 
-def execute_cell(spec: RunSpec, session_observers=()) -> Dict[str, object]:
+def execute_cell(
+    spec: RunSpec, session_observers=(), telemetry_config=None
+) -> Dict[str, object]:
     """Run one cell to completion; the worker-side entry point.
 
     Returns the JSON-able store payload.  ``session_observers`` only
     applies in-process (serial mode) — live observers cannot cross a
     process boundary, which is exactly why the :class:`EventCounter`
-    tallies are returned by value.
+    tallies (and, with telemetry enabled, the span dicts) are returned
+    by value.
     """
     t0 = time.perf_counter()
+    wall_start = time.time()
+    spans: List[Dict[str, object]] = []
     if spec.kind == "artifact":
         metrics = _execute_artifact_cell(spec)
         events: Dict[str, int] = {}
     else:
-        metrics, events = _execute_workload_cell(spec, session_observers)
-    return {
+        metrics, events, spans = _execute_workload_cell(
+            spec, session_observers, telemetry_config
+        )
+    wall_time = time.perf_counter() - t0
+    payload: Dict[str, object] = {
         "metrics": metrics,
-        "wall_time": time.perf_counter() - t0,
+        "wall_time": wall_time,
         "events": events,
     }
+    if telemetry_config is not None:
+        cell = Telemetry(telemetry_config)
+        cell.record(
+            "sweep.cell", wall_start, time.time(), CLOCK_WALL, track="sweep",
+            kind=spec.kind, wall_time=wall_time,
+        )
+        payload["spans"] = cell.as_dicts() + spans
+    return payload
 
 
 def _outcome(spec: RunSpec, payload: Dict[str, object], cached: bool) -> CellOutcome:
@@ -221,6 +253,8 @@ def _outcome(spec: RunSpec, payload: Dict[str, object], cached: bool) -> CellOut
         wall_time=float(payload["wall_time"]),
         cached=cached,
         events={k: int(v) for k, v in payload.get("events", {}).items()},
+        # Payloads cached before telemetry existed carry no spans.
+        spans=tuple(payload.get("spans", ())),
     )
 
 
@@ -239,6 +273,7 @@ class SweepRunner:
         store=None,
         observers: Sequence[SweepObserver] = (),
         session_observers=(),
+        telemetry: Optional[TelemetryConfig] = None,
     ) -> None:
         if jobs < 1:
             raise SweepError(f"jobs must be >= 1, got {jobs}")
@@ -246,6 +281,15 @@ class SweepRunner:
         self.store = store
         self.observers = tuple(observers)
         self.session_observers = tuple(session_observers)
+        #: When set, each computed cell records spans under the child
+        #: correlation id ``<cid>/<cell index>`` — the config is
+        #: picklable, so pool workers attach to the parent trace too.
+        self.telemetry = telemetry
+
+    def _cell_config(self, index: int) -> Optional[TelemetryConfig]:
+        if self.telemetry is None:
+            return None
+        return self.telemetry.child(index)
 
     # -- hooks --------------------------------------------------------------
     def _notify_start(self, index: int, total: int, spec: RunSpec) -> None:
@@ -260,6 +304,7 @@ class SweepRunner:
     def run(self, sweep: Sweep) -> SweepResult:
         total = len(sweep)
         outcomes: Dict[RunSpec, CellOutcome] = {}
+        store_stats_before = None if self.store is None else self.store.stats()
 
         # Store-first pass: serve every known cell from disk.
         pending: List[Tuple[int, RunSpec]] = []
@@ -275,7 +320,9 @@ class SweepRunner:
         if pending and self.jobs == 1:
             for index, spec in pending:
                 self._notify_start(index, total, spec)
-                payload = execute_cell(spec, self.session_observers)
+                payload = execute_cell(
+                    spec, self.session_observers, self._cell_config(index)
+                )
                 outcomes[spec] = self._finish(index, total, spec, payload)
         elif pending:
             workers = min(self.jobs, len(pending))
@@ -283,7 +330,9 @@ class SweepRunner:
                 futures = {}
                 for index, spec in pending:
                     self._notify_start(index, total, spec)
-                    futures[pool.submit(execute_cell, spec)] = (index, spec)
+                    futures[pool.submit(
+                        execute_cell, spec, (), self._cell_config(index)
+                    )] = (index, spec)
                 done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
                 # On failure: cancel what never started, but let cells
                 # already running finish and persist every completed
@@ -307,6 +356,13 @@ class SweepRunner:
                     outcomes[spec] = self._finish(index, total, spec, payload)
                 if failure is not None:
                     raise failure
+
+        if store_stats_before is not None:
+            # Mirror this run's hit/miss/put deltas into the process-wide
+            # registry so ``/metrics`` scrapes see store behaviour.
+            publish_store_stats(
+                default_registry(), store_stats_before, self.store.stats()
+            )
 
         return SweepResult(
             cells=tuple(outcomes[spec] for spec in sweep.cells),

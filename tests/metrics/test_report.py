@@ -50,3 +50,26 @@ def test_format_evolution_contains_series_names():
     s = StepSeries((0.0,), (4.0,))
     text = format_evolution("fig", [("alloc", s), ("running", s)], 0.0, 10.0)
     assert "alloc" in text and "running" in text and "peak=4" in text
+
+
+def test_sparkline_of_flat_zero_series():
+    # A fault-heavy window can leave a series at zero throughout; the
+    # renderer must not divide by the zero peak.
+    s = StepSeries((0.0,), (0.0,))
+    line = sparkline(s, 0.0, 10.0, width=8)
+    assert line == " " * 8
+
+
+def test_format_evolution_empty_series_reports_zero_peak():
+    s = StepSeries((), ())
+    text = format_evolution("fig", [("alloc", s)], 0.0, 10.0)
+    assert "peak=0" in text
+
+
+def test_format_table_without_title_has_no_title_line():
+    text = format_table(["a"], [[1]])
+    assert text.splitlines()[0].startswith("a")
+
+
+def test_format_csv_empty_rows():
+    assert format_csv(["x"], []) == "x\n"

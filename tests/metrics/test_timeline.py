@@ -95,6 +95,64 @@ def test_completed_jobs_series():
     assert s.at(20.0) == 2
 
 
+def test_running_jobs_counts_resizers_when_asked():
+    tr = Trace()
+    tr.record(0.0, EventKind.JOB_SUBMIT, 1, resizer=False)
+    tr.record(0.0, EventKind.JOB_START, 1)
+    tr.record(6.0, EventKind.JOB_SUBMIT, 99, resizer=True)
+    tr.record(6.0, EventKind.JOB_START, 99)
+    s = running_jobs_series(tr, include_resizers=True)
+    assert s.at(7.0) == 2
+    assert running_jobs_series(tr).at(7.0) == 1
+
+
+def test_requeued_job_is_pending_until_restart():
+    tr = Trace()
+    tr.record(0.0, EventKind.JOB_SUBMIT, 1, resizer=False)
+    tr.record(1.0, EventKind.JOB_START, 1)
+    tr.record(5.0, EventKind.JOB_REQUEUE, 1)  # a node died under it
+    tr.record(9.0, EventKind.JOB_START, 1)
+    tr.record(20.0, EventKind.JOB_END, 1)
+    s = running_jobs_series(tr)
+    assert s.at(2.0) == 1
+    assert s.at(7.0) == 0  # requeued: pending, not running
+    assert s.at(10.0) == 1
+    assert s.at(21.0) == 0
+
+
+def test_cancelled_job_leaves_running_series():
+    tr = Trace()
+    tr.record(0.0, EventKind.JOB_SUBMIT, 1, resizer=False)
+    tr.record(1.0, EventKind.JOB_START, 1)
+    tr.record(4.0, EventKind.JOB_CANCEL, 1)
+    s = running_jobs_series(tr)
+    assert s.at(2.0) == 1
+    assert s.at(5.0) == 0
+
+
+def test_requeue_without_start_is_ignored():
+    # A requeue can race ahead of the restart's JOB_START; a second
+    # requeue of an already-pending job must not drive the count negative.
+    tr = Trace()
+    tr.record(0.0, EventKind.JOB_SUBMIT, 1, resizer=False)
+    tr.record(1.0, EventKind.JOB_START, 1)
+    tr.record(5.0, EventKind.JOB_REQUEUE, 1)
+    tr.record(6.0, EventKind.JOB_REQUEUE, 1)
+    s = running_jobs_series(tr)
+    assert s.at(7.0) == 0
+
+
+def test_completed_jobs_ignores_requeues():
+    tr = Trace()
+    tr.record(1.0, EventKind.JOB_START, 1)
+    tr.record(5.0, EventKind.JOB_REQUEUE, 1)
+    tr.record(9.0, EventKind.JOB_START, 1)
+    tr.record(20.0, EventKind.JOB_END, 1)
+    s = completed_jobs_series(tr)
+    assert s.at(5.0) == 0
+    assert s.at(20.0) == 1
+
+
 def test_alloc_series_dedupes_same_timestamp():
     tr = Trace()
     tr.record(1.0, EventKind.ALLOC_CHANGE, nodes_used=4)

@@ -1,0 +1,187 @@
+"""Tests for the Chrome trace-event exporter and validator."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.metrics.trace import EventKind, Trace
+from repro.obs.perfetto import (
+    PerfettoTraceWriter,
+    export_perfetto,
+    spans_from_trace,
+    validate_trace_file,
+)
+from repro.obs.spans import CLOCK_WALL, Span
+
+
+def make_trace():
+    tr = Trace()
+    tr.record(0.0, EventKind.JOB_SUBMIT, 1)
+    tr.record(1.0, EventKind.JOB_START, 1)
+    tr.record(2.0, EventKind.RESIZE_DECISION, 1, action="expand")
+    tr.record(3.0, EventKind.RESIZE_EXPAND, 1, nodes=4)
+    tr.record(4.0, EventKind.NODE_FAIL, node=2)
+    tr.record(5.0, EventKind.JOB_REQUEUE, 1)
+    tr.record(6.0, EventKind.JOB_START, 1)
+    tr.record(9.0, EventKind.JOB_END, 1)
+    tr.record(9.5, EventKind.NODE_RECOVER, node=2)
+    return tr
+
+
+class TestSpansFromTrace:
+    def test_run_windows_per_incarnation(self):
+        spans = spans_from_trace(make_trace())
+        runs = [s for s in spans if s.name == "job.run"]
+        assert [(s.start, s.end) for s in runs] == [(1.0, 5.0), (6.0, 9.0)]
+        assert runs[0].attrs["outcome"] == EventKind.JOB_REQUEUE.value
+        assert runs[1].attrs["outcome"] == EventKind.JOB_END.value
+
+    def test_decision_to_ack_interval(self):
+        spans = spans_from_trace(make_trace())
+        (ack,) = [s for s in spans if s.name == "resize.decision_to_ack"]
+        assert (ack.start, ack.end) == (2.0, 3.0)
+        assert ack.attrs["ack"] == EventKind.RESIZE_EXPAND.value
+        assert ack.attrs["action"] == "expand"
+
+    def test_faults_land_on_their_own_track(self):
+        spans = spans_from_trace(make_trace())
+        faults = [s for s in spans if s.name.startswith("fault.")]
+        assert {s.track for s in faults} == {"faults"}
+        assert {s.name for s in faults} == {
+            "fault.node_fail", "fault.node_recover"
+        }
+
+    def test_open_run_becomes_instant(self):
+        tr = Trace()
+        tr.record(0.0, EventKind.JOB_START, 7)
+        (span,) = [
+            s for s in spans_from_trace(tr)
+            if s.name == "job.running_at_end"
+        ]
+        assert span.instant and span.track == "job 7"
+
+
+class TestWriter:
+    def test_streaming_writer_emits_valid_json(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        with PerfettoTraceWriter(path) as writer:
+            writer.write({"ph": "M", "name": "process_name", "pid": 1,
+                          "tid": 0, "args": {"name": "p"}})
+            writer.write({"ph": "i", "name": "x", "pid": 1, "tid": 1,
+                          "ts": 0.0, "s": "t"})
+        with open(path) as fh:
+            data = json.load(fh)
+        assert [e["ph"] for e in data] == ["M", "i"]
+
+    def test_empty_writer_is_still_an_array(self, tmp_path):
+        path = str(tmp_path / "empty.json")
+        PerfettoTraceWriter(path).close()
+        with open(path) as fh:
+            assert json.load(fh) == []
+
+    def test_write_after_close_raises(self, tmp_path):
+        writer = PerfettoTraceWriter(str(tmp_path / "t.json"))
+        writer.close()
+        with pytest.raises(TelemetryError):
+            writer.write({})
+
+
+class TestExport:
+    def test_empty_export_raises(self, tmp_path):
+        with pytest.raises(TelemetryError):
+            export_perfetto(str(tmp_path / "t.json"))
+
+    def test_export_and_validate(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        spans = [
+            Span("sched.pass", 0.0, 1.0, track="scheduler", attrs={"jobs": 2}),
+            Span("sched.pass", 1.0, 2.0, track="scheduler"),
+            Span("fault.inject", 1.5, None, track="faults"),
+        ]
+        info = export_perfetto(path, spans=spans, trace=make_trace(),
+                               correlation_id="t-1", dropped=3)
+        assert info["dropped_spans"] == 3
+        summary = validate_trace_file(path)
+        assert summary["events"] == info["events"]
+        assert summary["names"]["sched.pass"] == 2
+        assert "job 1" in summary["track_names"]
+        assert "scheduler" in summary["track_names"]
+
+    def test_correlation_id_lands_in_args(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        export_perfetto(path, spans=[Span("a", 0.0, 1.0)],
+                        correlation_id="cid-9")
+        with open(path) as fh:
+            data = json.load(fh)
+        slices = [e for e in data if e["ph"] == "X"]
+        assert slices[0]["args"]["cid"] == "cid-9"
+
+    def test_wall_spans_rebase_to_zero_on_their_own_pid(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        t0 = 1.7e9  # a Unix epoch
+        export_perfetto(path, spans=[
+            Span("sim.a", 5.0, 6.0),
+            Span("wall.a", t0, t0 + 2.0, CLOCK_WALL, track="serve"),
+        ])
+        with open(path) as fh:
+            slices = [e for e in json.load(fh) if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in slices}
+        assert by_name["sim.a"]["pid"] != by_name["wall.a"]["pid"]
+        assert by_name["wall.a"]["ts"] == 0.0  # rebased, not an epoch
+        assert by_name["sim.a"]["ts"] == pytest.approx(5.0 * 1e6)
+
+    def test_tracks_sorted_and_monotonic(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        # Deliberately record out of order; export must sort per track.
+        export_perfetto(path, spans=[
+            Span("b", 9.0, 10.0, track="scheduler"),
+            Span("a", 1.0, 2.0, track="scheduler"),
+        ])
+        summary = validate_trace_file(path)
+        assert summary["by_phase"]["X"] == 2
+
+
+class TestValidator:
+    def test_rejects_non_array(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"traceEvents": []}')
+        with pytest.raises(TelemetryError):
+            validate_trace_file(str(path))
+
+    def test_rejects_empty(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[]")
+        with pytest.raises(TelemetryError):
+            validate_trace_file(str(path))
+
+    def test_rejects_backwards_time_within_a_track(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([
+            {"ph": "i", "name": "a", "pid": 1, "tid": 1, "ts": 5.0, "s": "t"},
+            {"ph": "i", "name": "b", "pid": 1, "tid": 1, "ts": 4.0, "s": "t"},
+        ]))
+        with pytest.raises(TelemetryError, match="backwards"):
+            validate_trace_file(str(path))
+
+    def test_allows_backwards_time_across_tracks(self, tmp_path):
+        path = tmp_path / "ok.json"
+        path.write_text(json.dumps([
+            {"ph": "i", "name": "a", "pid": 1, "tid": 1, "ts": 5.0, "s": "t"},
+            {"ph": "i", "name": "b", "pid": 1, "tid": 2, "ts": 4.0, "s": "t"},
+        ]))
+        assert validate_trace_file(str(path))["tracks"] == 2
+
+    def test_rejects_slice_without_duration(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([
+            {"ph": "X", "name": "a", "pid": 1, "tid": 1, "ts": 1.0},
+        ]))
+        with pytest.raises(TelemetryError, match="dur"):
+            validate_trace_file(str(path))
+
+    def test_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json")
+        with pytest.raises(TelemetryError, match="cannot load"):
+            validate_trace_file(str(path))

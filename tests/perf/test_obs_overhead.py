@@ -1,0 +1,65 @@
+"""Telemetry overhead pin: spans must stay out of the scheduler's way.
+
+Replays the 20k-job bench trace with telemetry off and on, interleaved
+min-of-N with the cyclic GC parked (allocator noise would otherwise
+dwarf the effect being measured), and pins the wall-clock ratio at
+≤ 5%.  The scheduler records one ``sched.pass`` span per pass through
+the :meth:`~repro.obs.spans.Telemetry.append` fast path — this test is
+what keeps that call site honest.
+"""
+
+from __future__ import annotations
+
+import gc
+
+from repro.obs.spans import Telemetry, TelemetryConfig
+from repro.sweep.bench import replay_sched_trace
+from repro.workload.generator import sched_trace
+
+SIZE = 20_000
+SEED = 2017
+REPS = 3
+#: The acceptance ceiling: telemetry may cost at most 5% wall clock.
+MAX_OVERHEAD_RATIO = 1.05
+
+
+def test_span_overhead_within_five_percent():
+    trace = sched_trace(SIZE, seed=SEED)
+    # Warm caches so neither arm pays first-run costs.
+    replay_sched_trace(trace, incremental=True)
+    off: list = []
+    on: list = []
+    enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(REPS):
+            gc.collect()
+            off.append(replay_sched_trace(trace, incremental=True))
+            gc.collect()
+            telemetry = Telemetry(TelemetryConfig(
+                correlation_id=f"overhead-{SIZE}"
+            ))
+            on.append(replay_sched_trace(
+                trace, incremental=True, telemetry=telemetry
+            ))
+    finally:
+        if enabled:
+            gc.enable()
+    # Telemetry must not change what the scheduler does...
+    for base, instrumented in zip(off, on):
+        assert instrumented["passes"] == base["passes"]
+        assert instrumented["comparisons"] == base["comparisons"]
+        assert instrumented["jobs_started"] == base["jobs_started"]
+    # ...and every pass must have produced exactly one span, none shed.
+    spans = on[0]["spans_recorded"]
+    assert spans == on[0]["passes"]
+    assert on[0]["spans_dropped"] == 0
+    # The pin: min-of-N against min-of-N bounds scheduling noise.
+    base = min(stats["wall_s"] for stats in off)
+    instrumented = min(stats["wall_s"] for stats in on)
+    ratio = instrumented / base
+    assert ratio <= MAX_OVERHEAD_RATIO, (
+        f"telemetry costs {(ratio - 1) * 100:.1f}% wall clock on the "
+        f"{SIZE}-job replay ({base:.2f}s -> {instrumented:.2f}s over "
+        f"{spans} spans; budget {(MAX_OVERHEAD_RATIO - 1) * 100:.0f}%)"
+    )

@@ -125,6 +125,22 @@ def test_table2_golden():
     _assert_matches("table2", table2_golden_lines())
 
 
+# -- telemetry transparency ---------------------------------------------------
+#
+# Span recording must be pure observation: a telemetry-enabled session
+# has to reproduce the canonical traces byte-identically (the obs
+# tentpole's golden guard).
+
+def test_fig3_golden_unchanged_with_telemetry():
+    session = Session().with_telemetry(correlation_id="golden")
+    _assert_matches("fig3", fig3_golden_lines(session))
+
+
+def test_table2_golden_unchanged_with_telemetry():
+    session = Session().with_telemetry(correlation_id="golden")
+    _assert_matches("table2", table2_golden_lines(session))
+
+
 # -- legacy-vs-incremental live equivalence -----------------------------------
 #
 # The golden files pin today's behaviour; these tests re-derive the

@@ -186,3 +186,53 @@ class TestWorkerErrorPropagation:
         # A re-run of the good cell alone is now a pure cache hit.
         again = SweepRunner(jobs=1, store=store).run(good)
         assert again.cached_cells == 1
+
+
+class TestSweepTelemetry:
+    def test_serial_cells_carry_child_correlated_spans(self):
+        from repro.obs.spans import TelemetryConfig
+
+        runner = SweepRunner(
+            jobs=1, telemetry=TelemetryConfig(correlation_id="sweep")
+        )
+        result = runner.run(TINY)
+        for index, cell in enumerate(result.cells):
+            names = {span["name"] for span in cell.spans}
+            assert "sweep.cell" in names
+            assert "sched.pass" in names
+            cids = {span["cid"] for span in cell.spans}
+            assert cids == {f"sweep/{index}"}
+            renditions = {
+                span.get("attrs", {}).get("rendition")
+                for span in cell.spans
+                if span["name"] != "sweep.cell"
+            }
+            assert renditions == {"fixed", "flexible"}
+
+    def test_pool_spans_match_serial(self):
+        from repro.obs.spans import TelemetryConfig
+
+        config = TelemetryConfig(correlation_id="sweep")
+        serial = SweepRunner(jobs=1, telemetry=config).run(TINY)
+        pooled = SweepRunner(jobs=2, telemetry=config).run(TINY)
+        for a, b in zip(serial.cells, pooled.cells):
+            names = lambda cell: sorted(
+                s["name"] for s in cell.spans if s["name"] != "sweep.cell"
+            )
+            assert names(a) == names(b)
+
+    def test_no_telemetry_means_no_spans(self):
+        result = SweepRunner(jobs=1).run(TINY)
+        assert all(cell.spans == () for cell in result.cells)
+
+    def test_cached_replay_preserves_spans(self, tmp_path):
+        from repro.obs.spans import TelemetryConfig
+
+        store = ResultStore(tmp_path)
+        config = TelemetryConfig(correlation_id="sweep")
+        first = SweepRunner(jobs=1, store=store, telemetry=config).run(TINY)
+        second = SweepRunner(jobs=1, store=store, telemetry=config).run(TINY)
+        assert second.cached_cells == len(TINY)
+        assert [len(c.spans) for c in second.cells] == [
+            len(c.spans) for c in first.cells
+        ]

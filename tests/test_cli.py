@@ -440,3 +440,56 @@ def test_resilience_rejects_nan_values(capsys):
     assert main(["resilience", "--quick", "--mtbf", "nan"]) == 2
     assert "finite" in capsys.readouterr().err
     assert main(["resilience", "--quick", "--repair-time", "nan"]) == 2
+
+
+# -- trace mode ----------------------------------------------------------------
+
+def test_trace_fig1_writes_valid_perfetto_file(tmp_path, capsys):
+    from repro.obs.perfetto import validate_trace_file
+
+    out = tmp_path / "trace.json"
+    assert main(["trace", "fig1", "--quick", "--num-jobs", "6",
+                 "--out", str(out)]) == 0
+    summary = validate_trace_file(str(out))
+    # The acceptance triad: scheduler passes, reconfigurations, faults.
+    assert summary["names"]["sched.pass"] > 0
+    assert summary["names"]["runtime.reconfig"] > 0
+    assert summary["names"]["fault.inject"] > 0
+    stdout = capsys.readouterr().out
+    assert "cid trace-fig1-2017" in stdout
+    assert "written to" in stdout
+
+
+def test_trace_unknown_scenario_rejected(tmp_path, capsys):
+    assert main(["trace", "nope", "--out", str(tmp_path / "t.json")]) == 2
+    assert "unknown trace scenario" in capsys.readouterr().err
+
+
+def test_sweep_trace_flag_exports_cell_spans(tmp_path, capsys):
+    from repro.obs.perfetto import validate_trace_file
+
+    out = tmp_path / "sweep-trace.json"
+    assert main(["sweep", "--workload", "fs", "--num-jobs", "4",
+                 "--seeds", "1", "--quiet", "--trace", str(out)]) == 0
+    summary = validate_trace_file(str(out))
+    assert summary["names"]["sweep.cell"] == 1
+    assert summary["names"]["sched.pass"] > 0
+    assert any(name.startswith("sweep/0/") for name in summary["track_names"])
+    assert "trace events" in capsys.readouterr().out
+
+
+def test_bench_sched_trace_flag_exports_replay_spans(tmp_path, capsys):
+    from repro.obs.perfetto import validate_trace_file
+
+    out = tmp_path / "BENCH_sched.json"
+    trace_out = tmp_path / "sched-trace.json"
+    assert main(["bench", "sched", "--sizes", "200", "--no-legacy",
+                 "--quiet", "--out", str(out),
+                 "--trace", str(trace_out)]) == 0
+    summary = validate_trace_file(str(trace_out))
+    assert summary["names"]["sched.pass"] > 0
+    import json
+
+    stats = json.loads(out.read_text())["traces"]["200"]["incremental"]
+    assert stats["spans_recorded"] == summary["names"]["sched.pass"]
+    assert stats["spans_dropped"] == 0
