@@ -42,6 +42,12 @@ class WorkloadResult:
     #: The run's span recorder when the session enabled telemetry
     #: (:meth:`~repro.api.session.Session.with_telemetry`).
     telemetry: Optional["Telemetry"] = None
+    #: Backend accounting records (``sacct`` rows) when the run executed
+    #: through the execution-backend seam; None for the native sim path,
+    #: whose ground truth is the trace itself.
+    accounting: Optional[tuple] = None
+    #: Which execution backend produced this result.
+    backend: str = "sim"
 
     @property
     def makespan(self) -> float:

@@ -27,13 +27,14 @@ from typing import List, Optional, Tuple
 
 from repro.api.observers import ObserverDispatch, SessionObserver, TimelineObserver
 from repro.api.results import PairedComparison, WorkloadResult
-from repro.cluster.configs import ClusterConfig, marenostrum_production
+from repro.backend.base import BackendSpec
+from repro.cluster.configs import ClusterConfig
 from repro.cluster.machine import Machine
 from repro.errors import SimulationTimeout
-from repro.faults import FaultInjector, FaultPlan, install_faults
+from repro.faults import FaultInjector, FaultPlan
 from repro.metrics.summary import summarize
 from repro.obs.spans import Telemetry, TelemetryConfig
-from repro.runtime.nanos import RuntimeConfig, install_runtime_launcher
+from repro.runtime.nanos import RuntimeConfig
 from repro.sim.engine import Environment
 from repro.sim.rng import RandomStreams
 from repro.slurm.controller import SlurmConfig, SlurmController
@@ -85,6 +86,7 @@ class SessionSpec:
     max_sim_time: float = DEFAULT_MAX_SIM_TIME
     faults: Optional[FaultPlan] = None
     telemetry: Optional[TelemetryConfig] = None
+    backend: Optional[BackendSpec] = None
 
     def build(self) -> "Session":
         """Reconstitute the session this spec describes."""
@@ -96,6 +98,7 @@ class SessionSpec:
             max_sim_time=self.max_sim_time,
             faults=self.faults,
             telemetry=self.telemetry,
+            backend=self.backend,
         )
 
 
@@ -111,6 +114,11 @@ class Session:
     max_sim_time: float = DEFAULT_MAX_SIM_TIME
     faults: Optional[FaultPlan] = None
     telemetry: Optional[TelemetryConfig] = None
+    #: Which execution backend runs this session's workloads.  ``None``
+    #: means the native in-process simulator path (byte-identical golden
+    #: traces); anything else routes :meth:`run` through the
+    #: :mod:`repro.backend` seam.
+    backend: Optional[BackendSpec] = None
 
     # -- builder steps -----------------------------------------------------
     def with_cluster(self, cluster: ClusterConfig) -> "Session":
@@ -179,6 +187,22 @@ class Session:
         """Attach observers; they receive live events from every run."""
         return replace(self, observers=self.observers + tuple(observers))
 
+    def with_backend(self, backend, **options) -> "Session":
+        """Select the execution backend for this session's runs.
+
+        Accepts a registry name (``"sim"``, ``"slurm"``) plus keyword
+        options, or a pre-built :class:`~repro.backend.base.BackendSpec`.
+        ``with_backend("sim")`` without options is equivalent to the
+        default native path.
+        """
+        if isinstance(backend, BackendSpec):
+            if options:
+                raise ValueError("pass options via BackendSpec.of, not both")
+            spec = backend
+        else:
+            spec = BackendSpec.of(str(backend), **options)
+        return replace(self, backend=spec)
+
     def spec(self) -> SessionSpec:
         """Export the picklable (observer-free) form of this session."""
         return SessionSpec(
@@ -189,6 +213,7 @@ class Session:
             max_sim_time=self.max_sim_time,
             faults=self.faults,
             telemetry=self.telemetry,
+            backend=self.backend,
         )
 
     @classmethod
@@ -223,33 +248,30 @@ class Session:
     def build(self, extra_observers: Tuple[SessionObserver, ...] = ()) -> LiveSimulation:
         """Assemble environment + machine + controller + runtime launcher.
 
-        This is the one place in the codebase that wires the simulation
-        stack together; experiments, benchmarks and the CLI all go
-        through it.
+        Delegates to :func:`repro.backend.sim.assemble` — the one place
+        that wires the simulation stack together; experiments,
+        benchmarks and the CLI all go through it.  Only the native sim
+        path can be built; a session configured for another backend
+        executes through :meth:`run` instead.
         """
-        cluster = self.cluster if self.cluster is not None else marenostrum_production()
-        env = Environment()
-        machine = cluster.build_machine()
-        controller = SlurmController(env, machine, config=self.slurm)
-        telemetry = None
-        if self.telemetry is not None:
-            telemetry = Telemetry(self.telemetry)
-            controller.telemetry = telemetry
-        install_runtime_launcher(controller, cluster, self.runtime)
-        observers = self.observers + tuple(extra_observers)
-        dispatch = None
-        if observers:
-            dispatch = ObserverDispatch(controller, observers)
-            controller.trace.subscribe(dispatch)
-        injector = install_faults(controller, self.faults)
-        return LiveSimulation(
-            env=env,
-            machine=machine,
-            controller=controller,
-            dispatch=dispatch,
-            injector=injector,
-            telemetry=telemetry,
-        )
+        if self.backend is not None and self.backend.name != "sim":
+            from repro.errors import BackendError
+
+            raise BackendError(
+                f"cannot build() a bare simulation for backend "
+                f"{self.backend.name!r}; use Session.run() or "
+                "Session.execution_backend()"
+            )
+        from repro.backend.sim import assemble
+
+        return assemble(self, extra_observers)
+
+    def execution_backend(self):
+        """Instantiate this session's configured execution backend."""
+        from repro.backend.base import create_backend
+
+        spec = self.backend if self.backend is not None else BackendSpec(name="sim")
+        return create_backend(spec, session=self)
 
     def submit(self, spec: WorkloadSpec, flexible: bool = True) -> "SessionRun":
         """Stand up a fresh simulation and install the arrival process.
@@ -277,7 +299,29 @@ class Session:
         flexible: bool = True,
         max_sim_time: Optional[float] = None,
     ) -> WorkloadResult:
-        """Execute one rendition of a workload to completion."""
+        """Execute one rendition of a workload to completion.
+
+        Sessions configured with a non-sim backend
+        (:meth:`with_backend`) route through the backend seam; the
+        default (and explicit ``"sim"``) keeps the native in-process
+        path, whose golden traces are pinned byte-for-byte.
+        """
+        if self.backend is not None and self.backend.name != "sim":
+            from repro.backend.base import create_backend
+            from repro.backend.driver import run_workload
+
+            backend = create_backend(self.backend, session=self)
+            try:
+                return run_workload(
+                    backend,
+                    spec,
+                    flexible=flexible,
+                    session=self,
+                    time_scale=float(self.backend.option("time_scale", 1.0)),
+                    drain_timeout=max_sim_time,
+                )
+            finally:
+                backend.close()
         return self.submit(spec, flexible=flexible).execute(max_sim_time)
 
     def run_paired(

@@ -1,0 +1,307 @@
+"""A hermetic fake Slurm CLI for CI: sbatch/squeue/sacct/scancel/scontrol.
+
+Run as ``python -m repro.backend.fake_slurmd <tool> [args...]``.  Jobs
+are JSON records in a spool directory (``$REPRO_FAKE_SLURMD_SPOOL``);
+state is *computed lazily from the wall clock*, so there is no daemon:
+a job submitted with ``--wrap "sleep 3"`` reads RUNNING for three
+seconds after submission and COMPLETED afterwards, and a job whose
+sleep exceeds its ``-t`` limit reads TIMEOUT — the same semantics the
+simulator's walltime enforcer implements.
+
+Deliberate deviations from real Slurm, chosen for test determinism:
+
+* the fake cluster has unlimited nodes, so jobs start the instant they
+  are submitted (no PENDING window);
+* ``sacct`` timestamps are epoch seconds with sub-second precision
+  (real sacct prints whole-second ISO text; the subprocess backend's
+  parser accepts both).
+
+Everything else mirrors the real tools closely enough that
+:class:`~repro.backend.subprocess_slurm.SubprocessSlurmBackend` cannot
+tell the difference: ``--parsable`` sbatch output, ``--parsable2``
+sacct rows, ``CANCELLED by <uid>`` state strings, and ``scontrol
+update`` that accepts TimeLimit but refuses NumNodes on a running job
+(exit 1), exactly like an unprivileged ``scontrol`` would.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+SPOOL_ENV = "REPRO_FAKE_SLURMD_SPOOL"
+
+
+def _spool() -> Path:
+    spool = os.environ.get(SPOOL_ENV)
+    if not spool:
+        print(f"fake_slurmd: {SPOOL_ENV} is not set", file=sys.stderr)
+        raise SystemExit(2)
+    path = Path(spool)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def parse_timelimit(text: str) -> float:
+    """Slurm time spec -> seconds: M, M:S, H:M:S or D-H:M:S."""
+    text = text.strip()
+    days = 0.0
+    if "-" in text:
+        day_part, text = text.split("-", 1)
+        days = float(day_part)
+    parts = [float(p) for p in text.split(":")]
+    if len(parts) == 1:
+        # Bare number = minutes, as sbatch -t documents.
+        seconds = parts[0] * 60.0
+    elif len(parts) == 2:
+        seconds = parts[0] * 60.0 + parts[1]
+    elif len(parts) == 3:
+        seconds = parts[0] * 3600.0 + parts[1] * 60.0 + parts[2]
+    else:
+        raise ValueError(f"bad time limit {text!r}")
+    return days * 86400.0 + seconds
+
+
+def _load(path: Path) -> Dict:
+    return json.loads(path.read_text())
+
+
+def _save(spool: Path, job: Dict) -> None:
+    (spool / f"job-{job['id']}.json").write_text(json.dumps(job))
+
+
+def _jobs(spool: Path) -> Dict[int, Dict]:
+    out = {}
+    for path in spool.glob("job-*.json"):
+        job = _load(path)
+        out[job["id"]] = job
+    return out
+
+
+def _status(job: Dict, now: Optional[float] = None):
+    """(state string, end time or None) computed from the wall clock."""
+    if now is None:
+        now = time.time()
+    start = job["start"]
+    natural_end = start + job["duration"]
+    timeout_at = start + job["time_limit_s"]
+    cancelled = job.get("cancelled_at")
+    finish_at = min(natural_end, timeout_at)
+    if cancelled is not None and cancelled < finish_at:
+        return "CANCELLED by 0", cancelled
+    if now < start:
+        return "PENDING", None
+    if now < finish_at:
+        return "RUNNING", None
+    if timeout_at < natural_end:
+        return "TIMEOUT", timeout_at
+    return "COMPLETED", natural_end
+
+
+def _next_id(spool: Path) -> int:
+    existing = _jobs(spool)
+    return max(existing, default=0) + 1
+
+
+def _cmd_sbatch(argv: List[str]) -> int:
+    spool = _spool()
+    name, nodes, limit, wrap, parsable = "wrap", 1, 60.0, None, False
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--parsable":
+            parsable = True
+        elif arg in ("-J", "--job-name"):
+            i += 1
+            name = argv[i]
+        elif arg in ("-N", "--nodes"):
+            i += 1
+            nodes = int(argv[i])
+        elif arg in ("-t", "--time"):
+            i += 1
+            limit = parse_timelimit(argv[i])
+        elif arg == "--wrap":
+            i += 1
+            wrap = argv[i]
+        elif arg in ("-p", "--partition", "-o", "--output"):
+            i += 1  # accepted and ignored
+        else:
+            print(f"sbatch: unrecognized option {arg!r}", file=sys.stderr)
+            return 1
+        i += 1
+    if wrap is None:
+        print("sbatch: a --wrap command is required", file=sys.stderr)
+        return 1
+    duration = 0.0
+    tokens = wrap.split()
+    if tokens and tokens[0] == "sleep" and len(tokens) > 1:
+        duration = float(tokens[1])
+    now = time.time()
+    job = {
+        "id": _next_id(spool),
+        "name": name,
+        "nodes": nodes,
+        "duration": duration,
+        "time_limit_s": limit,
+        "submit": now,
+        # Unlimited fake nodes: every job starts immediately.
+        "start": now,
+    }
+    _save(spool, job)
+    if parsable:
+        print(job["id"])
+    else:
+        print(f"Submitted batch job {job['id']}")
+    return 0
+
+
+def _wanted_ids(argv: List[str]) -> Optional[List[int]]:
+    for i, arg in enumerate(argv):
+        if arg in ("-j", "--jobs") and i + 1 < len(argv):
+            return [int(x) for x in argv[i + 1].split(",") if x]
+        if arg.startswith("--jobs="):
+            return [int(x) for x in arg.split("=", 1)[1].split(",") if x]
+    return None
+
+
+def _cmd_sacct(argv: List[str]) -> int:
+    spool = _spool()
+    fields = ["JobID", "JobName", "State", "NNodes", "Submit", "Start", "End", "ElapsedRaw"]
+    for i, arg in enumerate(argv):
+        if arg == "--format" and i + 1 < len(argv):
+            fields = argv[i + 1].split(",")
+        elif arg.startswith("--format="):
+            fields = arg.split("=", 1)[1].split(",")
+    wanted = _wanted_ids(argv)
+    jobs = _jobs(spool)
+    ids = wanted if wanted is not None else sorted(jobs)
+    now = time.time()
+    for job_id in ids:
+        job = jobs.get(job_id)
+        if job is None:
+            continue
+        state, end = _status(job, now)
+        elapsed = (end if end is not None else now) - job["start"]
+        values = {
+            "JobID": str(job["id"]),
+            "JobName": job["name"],
+            "State": state,
+            "NNodes": str(job["nodes"]),
+            "Submit": repr(job["submit"]),
+            "Start": repr(job["start"]),
+            "End": "Unknown" if end is None else repr(end),
+            "ElapsedRaw": repr(max(elapsed, 0.0)),
+        }
+        print("|".join(values.get(f, "") for f in fields))
+    return 0
+
+
+def _cmd_squeue(argv: List[str]) -> int:
+    spool = _spool()
+    wanted = _wanted_ids(argv)
+    jobs = _jobs(spool)
+    ids = wanted if wanted is not None else sorted(jobs)
+    now = time.time()
+    for job_id in ids:
+        job = jobs.get(job_id)
+        if job is None:
+            continue
+        state, _ = _status(job, now)
+        if state in ("PENDING", "RUNNING"):
+            print(f"{job['id']}|{state}")
+    return 0
+
+
+def _cmd_scancel(argv: List[str]) -> int:
+    spool = _spool()
+    ids = [int(a) for a in argv if not a.startswith("-")]
+    if not ids:
+        print("scancel: no job id given", file=sys.stderr)
+        return 1
+    jobs = _jobs(spool)
+    now = time.time()
+    for job_id in ids:
+        job = jobs.get(job_id)
+        if job is None:
+            print(f"scancel: error: Invalid job id {job_id}", file=sys.stderr)
+            return 1
+        state, _ = _status(job, now)
+        if state in ("PENDING", "RUNNING") and "cancelled_at" not in job:
+            job["cancelled_at"] = now
+            _save(spool, job)
+    return 0
+
+
+def _cmd_scontrol(argv: List[str]) -> int:
+    spool = _spool()
+    if not argv or argv[0] != "update":
+        print(f"scontrol: unsupported invocation {argv!r}", file=sys.stderr)
+        return 1
+    updates = {}
+    for arg in argv[1:]:
+        if "=" not in arg:
+            print(f"scontrol: bad update token {arg!r}", file=sys.stderr)
+            return 1
+        key, value = arg.split("=", 1)
+        updates[key.lower()] = value
+    job_id = updates.pop("jobid", None)
+    if job_id is None:
+        print("scontrol: JobId required", file=sys.stderr)
+        return 1
+    jobs = _jobs(spool)
+    job = jobs.get(int(job_id))
+    if job is None:
+        print("scontrol: error: Invalid job id specified", file=sys.stderr)
+        return 1
+    state, _ = _status(job)
+    for key, value in updates.items():
+        if key == "timelimit":
+            if state not in ("PENDING", "RUNNING"):
+                print(
+                    "scontrol: error: Job/step already completing or completed",
+                    file=sys.stderr,
+                )
+                return 1
+            job["time_limit_s"] = parse_timelimit(value)
+        elif key == "numnodes":
+            # Like real (unprivileged) Slurm: no resizing running jobs
+            # from the outside; the paper's protocol exists because of
+            # exactly this restriction.
+            print(
+                "scontrol: error: Job is no longer pending execution",
+                file=sys.stderr,
+            )
+            return 1
+        else:
+            print(f"scontrol: unsupported field {key!r}", file=sys.stderr)
+            return 1
+    _save(spool, job)
+    return 0
+
+
+_COMMANDS = {
+    "sbatch": _cmd_sbatch,
+    "sacct": _cmd_sacct,
+    "squeue": _cmd_squeue,
+    "scancel": _cmd_scancel,
+    "scontrol": _cmd_scontrol,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] not in _COMMANDS:
+        print(
+            f"fake_slurmd: expected one of {sorted(_COMMANDS)}, got {argv[:1]}",
+            file=sys.stderr,
+        )
+        return 2
+    return _COMMANDS[argv[0]](argv[1:])
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

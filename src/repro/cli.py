@@ -9,6 +9,9 @@ Usage::
     python -m repro fig3 --seed 7       # reseed the stochastic workloads
     python -m repro run --workload my.swf --flexible --seed 7
                                         # replay a user-supplied SWF log
+    python -m repro backends            # execution backends + availability
+    python -m repro run --workload my.swf --backend slurm --time-scale 0.01
+                                        # same replay on a real scheduler
     python -m repro sweep --artifact fig3 --seeds 5 --jobs 4
                                         # seed ensemble with 95% CIs
     python -m repro sweep --workload fs --num-jobs 25,50 --policies default,deepest
@@ -93,6 +96,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="cluster size (default: the 65-node production testbed, "
         "grown to fit the largest job)",
     )
+    run_opts.add_argument(
+        "--backend",
+        metavar="NAME",
+        default=None,
+        help="execution backend (default: sim; see 'repro backends')",
+    )
+    run_opts.add_argument(
+        "--time-scale",
+        type=float,
+        default=None,
+        metavar="X",
+        help="compress workload seconds onto the backend clock by X "
+        "(wall-clock backends only; 0.01 turns a 100s trace into 1s)",
+    )
     parser.add_argument(
         "--no-cache",
         action="store_true",
@@ -129,8 +146,9 @@ def _emit_csv(registry: ArtifactRegistry, name: str, seed: Optional[int],
 def _run_user_workload(args: argparse.Namespace) -> int:
     """The ``repro run`` mode: execute a user-supplied SWF workload."""
     from repro.api import Session, SimulationTimeout
+    from repro.backend import backend_names
     from repro.cluster.configs import ClusterConfig
-    from repro.errors import WorkloadError
+    from repro.errors import BackendError, WorkloadError
     from repro.metrics.report import format_csv, format_table
     from repro.workload.swf import parse_swf
 
@@ -139,6 +157,19 @@ def _run_user_workload(args: argparse.Namespace) -> int:
         return 2
     if args.flexible and args.rigid:
         print("--flexible and --rigid are mutually exclusive", file=sys.stderr)
+        return 2
+    backend = args.backend if args.backend is not None else "sim"
+    if backend not in backend_names():
+        print(f"unknown backend {backend!r}; see 'repro backends'",
+              file=sys.stderr)
+        return 2
+    if args.time_scale is not None and args.time_scale <= 0:
+        print("--time-scale must be positive", file=sys.stderr)
+        return 2
+    if args.time_scale is not None and backend == "sim":
+        print("--time-scale applies to wall-clock backends; "
+              "the simulator's virtual seconds are already free",
+              file=sys.stderr)
         return 2
     try:
         with open(args.workload) as fh:
@@ -156,6 +187,11 @@ def _run_user_workload(args: argparse.Namespace) -> int:
     largest = max(js.submit_nodes for js in spec.jobs)
     num_nodes = args.nodes if args.nodes is not None else max(65, largest)
     session = Session(cluster=ClusterConfig(num_nodes=num_nodes))
+    if backend != "sim":
+        options = {}
+        if args.time_scale is not None:
+            options["time_scale"] = args.time_scale
+        session = session.with_backend(backend, **options)
     if args.seed is not None:
         # SWF logs pin every job's size, runtime and arrival, so a replay
         # is deterministic; keep the flag accepted (scripts pass it
@@ -163,7 +199,7 @@ def _run_user_workload(args: argparse.Namespace) -> int:
         print("note: SWF replays are deterministic; --seed has no effect here")
     try:
         result = session.run(spec, flexible=flexible)
-    except SimulationTimeout as exc:
+    except (SimulationTimeout, BackendError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
@@ -174,10 +210,10 @@ def _run_user_workload(args: argparse.Namespace) -> int:
     cells = [[s.num_jobs, rendition, s.makespan, s.avg_wait_time,
               s.avg_execution_time, 100.0 * s.utilization_rate,
               s.resize_count]]
-    print(format_table(
-        headers, cells,
-        title=f"SWF replay: {args.workload} ({num_nodes} nodes)",
-    ))
+    title = f"SWF replay: {args.workload} ({num_nodes} nodes)"
+    if result.backend != "sim":
+        title += f" [backend={result.backend}]"
+    print(format_table(headers, cells, title=title))
     if args.csv is not None:
         os.makedirs(args.csv, exist_ok=True)
         path = os.path.join(args.csv, "run.csv")
@@ -188,6 +224,53 @@ def _run_user_workload(args: argparse.Namespace) -> int:
                 cells,
             ))
         print(f"[csv written to {path}]")
+    return 0
+
+
+# -- backends mode ------------------------------------------------------------
+
+def _backends_mode(argv: List[str]) -> int:
+    """``repro backends``: list execution backends and probe availability."""
+    parser = argparse.ArgumentParser(
+        prog="repro backends",
+        description="List the registered execution backends with their "
+        "capability flags and an availability probe (e.g. whether "
+        "sbatch is on PATH).",
+    )
+    parser.add_argument("--json", action="store_true",
+                        help="emit the listing as JSON")
+    args = parser.parse_args(argv)
+
+    from repro.backend import backend_class, backend_names
+
+    rows = []
+    for name in backend_names():
+        cls = backend_class(name)
+        caps = cls.CAPABILITIES
+        ok, reason = cls.available()
+        rows.append({
+            "name": name,
+            "available": ok,
+            "clock": caps.clock,
+            "resize": caps.supports_resize,
+            "faults": caps.supports_faults,
+            "detail": reason,
+        })
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+
+    def flag(value: bool) -> str:
+        return "yes" if value else "no"
+
+    print(f"{'backend':<10} {'available':<10} {'clock':<6} "
+          f"{'resize':<7} {'faults':<7} detail")
+    for row in rows:
+        print(f"{row['name']:<10} {flag(row['available']):<10} "
+              f"{row['clock']:<6} {flag(row['resize']):<7} "
+              f"{flag(row['faults']):<7} {row['detail']}")
+    print("select with --backend NAME ('repro run', 'repro sweep', "
+          "'repro serve')")
     return 0
 
 
@@ -478,6 +561,9 @@ def _build_sweep_parser() -> argparse.ArgumentParser:
                         help="first seed of the ensemble (default 2017)")
     parser.add_argument("--async", dest="async_mode", action="store_true",
                         help="asynchronous DMR mode for workload cells")
+    parser.add_argument("--backend", metavar="NAME", default=None,
+                        help="execution backend for workload cells "
+                        "(default: sim; see 'repro backends')")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes (1 = serial, default)")
     parser.add_argument("--csv", nargs="?", const="-", default=None,
@@ -502,6 +588,13 @@ def _sweep_mode(argv: List[str]) -> int:
     from repro.sweep.spec import DEFAULT_BASE_SEED
 
     args = _build_sweep_parser().parse_args(argv)
+    if args.backend is not None:
+        from repro.backend import backend_names
+
+        if args.backend not in backend_names():
+            print(f"unknown backend {args.backend!r}; see 'repro backends'",
+                  file=sys.stderr)
+            return 2
     store = _store_for(args)
     try:
         sweep = Sweep.over(
@@ -514,6 +607,7 @@ def _sweep_mode(argv: List[str]) -> int:
             nodes=args.nodes,
             policies=args.policies,
             async_mode=args.async_mode,
+            backend=args.backend if args.backend is not None else "sim",
         )
     except SweepError as exc:
         print(f"invalid sweep: {exc}", file=sys.stderr)
@@ -823,8 +917,29 @@ def _serve_mode(argv: List[str]) -> int:
                         "artifact rendering")
     parser.add_argument("--no-cache", action="store_true",
                         help="serve without a result store")
+    parser.add_argument("--backend", metavar="NAME", default="sim",
+                        help="execution backend for workload submissions "
+                        "(default: sim; see 'repro backends')")
+    parser.add_argument("--time-scale", type=float, default=None, metavar="X",
+                        help="compress workload seconds onto the backend "
+                        "clock by X (wall-clock backends only)")
     args = parser.parse_args(argv)
 
+    from repro.backend import backend_names
+
+    if args.backend not in backend_names():
+        print(f"unknown backend {args.backend!r}; see 'repro backends'",
+              file=sys.stderr)
+        return 2
+    if args.time_scale is not None and (
+        args.time_scale <= 0 or args.backend == "sim"
+    ):
+        print("--time-scale must be positive and needs a wall-clock "
+              "--backend", file=sys.stderr)
+        return 2
+    backend_options = (
+        {} if args.time_scale is None else {"time_scale": args.time_scale}
+    )
     store = _store_for(args)
     server = ReproServer(
         host=args.host,
@@ -832,11 +947,14 @@ def _serve_mode(argv: List[str]) -> int:
         workers=args.workers,
         queue_limit=args.queue_limit,
         store=store,
+        backend=args.backend,
+        backend_options=backend_options,
     )
 
     def announce(srv) -> None:
         print(f"repro serve: listening on http://{srv.host}:{srv.port} "
-              f"({srv.workers} workers, queue limit {srv.queue_limit})",
+              f"({srv.workers} workers, queue limit {srv.queue_limit}, "
+              f"backend {srv.backend})",
               flush=True)
 
     run_server(server, announce=announce)
@@ -929,6 +1047,8 @@ def main(argv: List[str] | None = None) -> int:
         return _resilience_mode(argv[1:])
     if argv and argv[0].lower() == "trace":
         return _trace_mode(argv[1:])
+    if argv and argv[0].lower() == "backends":
+        return _backends_mode(argv[1:])
     args = build_parser().parse_args(argv)
     if args.artifacts[0].lower() == "run":
         if len(args.artifacts) > 1:
@@ -937,6 +1057,11 @@ def main(argv: List[str] | None = None) -> int:
         return _run_user_workload(args)
     if args.workload is not None:
         print("--workload requires the 'run' mode", file=sys.stderr)
+        return 2
+    if args.backend is not None or args.time_scale is not None:
+        print("--backend/--time-scale require the 'run' mode "
+              "(artifacts always render through the simulator)",
+              file=sys.stderr)
         return 2
 
     registry = builtin_registry()

@@ -44,6 +44,9 @@ class DecisionReason(enum.Enum):
     #: holds fails: the job evacuates the dying node at its next
     #: reconfiguring point instead of dying with it (:mod:`repro.faults`).
     NODE_FAILURE = "node_failure"
+    #: Resize driven from outside the policy loop (an operator or an
+    #: execution backend's ``update_nodes``), not by Algorithm 1.
+    OPERATOR = "operator"
 
 
 @dataclass(frozen=True)

@@ -132,6 +132,14 @@ class DrainingError(ServeError):
     """The service is draining and refuses new submissions (HTTP 503)."""
 
 
+class BackendError(ReproError):
+    """An execution backend failed or was misused (:mod:`repro.backend`)."""
+
+
+class BackendUnavailableError(BackendError):
+    """The requested backend cannot run here (missing CLI, no session)."""
+
+
 class CheckpointError(ReproError):
     """Failure in the checkpoint/restart baseline."""
 

@@ -1,5 +1,10 @@
 """Compatibility shim: :class:`LatencyHistogram` moved to ``repro.obs``.
 
+.. deprecated::
+    Import from :mod:`repro.obs.registry` instead; this module is a
+    *pure* re-export (no logic lives here, so the two paths can never
+    drift) and will be removed once the last in-tree caller migrates.
+
 The histogram grew into the metrics-registry's histogram type, so the
 implementation now lives in :mod:`repro.obs.registry` (the telemetry
 layer must not depend on :mod:`repro.metrics`).  Everything importable

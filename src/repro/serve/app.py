@@ -345,7 +345,16 @@ class ReproServer:
         store=None,
         registry=None,
         metrics_registry: Optional[MetricsRegistry] = None,
+        backend: str = "sim",
+        backend_options: Optional[dict] = None,
     ) -> None:
+        from repro.backend import backend_names
+
+        if backend not in backend_names():
+            raise ServeError(
+                f"unknown execution backend {backend!r}; "
+                f"registered: {', '.join(backend_names())}"
+            )
         if registry is None:
             from repro.api.registry import builtin_registry
 
@@ -360,6 +369,8 @@ class ReproServer:
         self.queue_limit = queue_limit
         self.store = store
         self.registry = registry
+        self.backend = backend
+        self.backend_options = dict(backend_options or {})
         self.manager: Optional[JobManager] = None
         # The process-wide registry by default, so one scrape sees the
         # HTTP families next to everything the simulations publish
@@ -406,6 +417,8 @@ class ReproServer:
             queue_limit=self.queue_limit,
             store=self.store,
             registry=self.registry,
+            backend=self.backend,
+            backend_options=self.backend_options,
         )
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
@@ -527,6 +540,7 @@ class ReproServer:
         return 200, json_response(200, {
             "status": "ok",
             "state": status["state"],
+            "backend": status["backend"],
             "active": status["active"],
             "uptime_s": time.time() - self.started_unix,
         })

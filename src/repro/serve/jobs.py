@@ -239,6 +239,8 @@ class JobManager:
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
         store=None,
         registry=None,
+        backend: str = "sim",
+        backend_options: Optional[dict] = None,
     ) -> None:
         if workers < 1:
             raise ServeError(f"workers must be >= 1, got {workers}")
@@ -249,6 +251,12 @@ class JobManager:
         self.queue_limit = queue_limit
         self.store = store
         self.registry = registry
+        #: Execution backend workload jobs run on (``repro.backend``
+        #: registry name; sweeps always stay on the simulator).  Options
+        #: ride on the session's BackendSpec — e.g. ``time_scale`` so a
+        #: wall-clock backend does not sleep through simulated hours.
+        self.backend = backend
+        self.backend_options = dict(backend_options or {})
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve"
         )
@@ -283,6 +291,7 @@ class JobManager:
             running = by_state.get(RUNNING, 0)
             return {
                 "state": "draining" if self.draining else "serving",
+                "backend": self.backend,
                 "queue_depth": pending,
                 "running": running,
                 "active": pending + running,
@@ -363,13 +372,28 @@ class JobManager:
                 .observe(EventBridge(job))
                 .with_telemetry(correlation_id=job.id)
             )
-            run = session.submit(
-                job.workload_spec, flexible=params["flexible"]
-            )
-            result = run.execute()
-            publish_sched_stats(
-                default_registry(), run.sim.controller.stats.snapshot()
-            )
+            if self.backend != "sim":
+                # Route through the backend seam: the driver feeds the
+                # EventBridge a synthetic trace from backend accounting,
+                # so SSE subscribers see the same event vocabulary.
+                # There is no in-process controller to scrape scheduler
+                # stats from.
+                result = session.with_backend(
+                    self.backend, **self.backend_options
+                ).run(job.workload_spec, flexible=params["flexible"])
+            else:
+                run = session.submit(
+                    job.workload_spec, flexible=params["flexible"]
+                )
+                result = run.execute()
+                publish_sched_stats(
+                    default_registry(), run.sim.controller.stats.snapshot()
+                )
+            default_registry().counter(
+                "repro_serve_workloads_total",
+                "Workload runs completed, by execution backend.",
+                labels=("backend",),
+            ).inc(backend=result.backend)
             telemetry = result.telemetry
             if telemetry is not None:
                 job.set_telemetry(
@@ -381,6 +405,7 @@ class JobManager:
             job.finish(result={
                 "workload": params["workload"],
                 "flexible": params["flexible"],
+                "backend": result.backend,
                 "summary": summary.as_dict(),
                 "trace_events": len(result.trace),
                 "trace_digest": trace_digest(result.trace),

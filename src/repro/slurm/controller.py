@@ -755,6 +755,13 @@ class SlurmController:
         """
         if time_limit <= 0:
             raise SchedulerError(f"time limit must be positive, got {time_limit}")
+        if job.state in TERMINAL_STATES:
+            # Real Slurm: "scontrol update" on a finished job fails with
+            # "Job/step already completing or completed".
+            raise SchedulerError(
+                f"job {job.job_id} is already {job.state.value}; "
+                "cannot update its time limit"
+            )
         job.time_limit = time_limit
         # An operator update establishes the job's new baseline limit:
         # like real Slurm, it survives a requeue (unlike the runtime's

@@ -17,7 +17,13 @@ from repro.errors import JobStateError
 
 
 class JobState(enum.Enum):
-    """Slurm-like job lifecycle states."""
+    """Slurm-like job lifecycle states.
+
+    Covers both the states the simulator reaches today and the states only
+    a real Slurm can produce (preemption, suspension, QOS deadlines, node
+    boot failures) so that the subprocess backend can map ``sacct`` output
+    onto first-class members instead of collapsing them into FAILED.
+    """
 
     PENDING = "pending"
     RUNNING = "running"
@@ -26,11 +32,59 @@ class JobState(enum.Enum):
     CANCELLED = "cancelled"
     FAILED = "failed"
     TIMEOUT = "timeout"
+    #: Evicted by a higher-priority job or QOS preemption.
+    PREEMPTED = "preempted"
+    #: Paused by ``scontrol suspend``; resumable.
+    SUSPENDED = "suspended"
+    #: Killed because the QOS/reservation deadline passed.
+    DEADLINE = "deadline"
+    #: Allocated nodes failed to boot; the job never ran.
+    BOOT_FAIL = "boot_fail"
+    #: An allocated node died mid-run and the job was not requeued.
+    NODE_FAIL = "node_fail"
 
+    @classmethod
+    def from_slurm(cls, text: str) -> "JobState":
+        """Parse a Slurm state string (``squeue``/``sacct`` output).
+
+        Handles the suffixed forms real Slurm emits ("CANCELLED by 1234"),
+        and maps transient scheduler states onto the nearest lifecycle
+        member (RESIZING is a running job mid-reconfiguration; REQUEUED
+        jobs are back in the queue).
+        """
+        token = text.strip().split()[0].upper() if text.strip() else ""
+        mapped = _SLURM_STATE_ALIASES.get(token)
+        if mapped is not None:
+            return mapped
+        try:
+            return cls[token]
+        except KeyError:
+            raise JobStateError(f"unknown Slurm job state {text!r}") from None
+
+
+#: Slurm state strings that do not match a member name directly.
+_SLURM_STATE_ALIASES = {
+    "RESIZING": JobState.RUNNING,
+    "REQUEUED": JobState.PENDING,
+    "REQUEUE_FED": JobState.PENDING,
+    "REQUEUE_HOLD": JobState.PENDING,
+    "CONFIGURING": JobState.PENDING,
+    "STAGE_OUT": JobState.COMPLETING,
+    "SIGNALING": JobState.COMPLETING,
+    "CANCELLED+": JobState.CANCELLED,
+    "OUT_OF_MEMORY": JobState.FAILED,
+    "REVOKED": JobState.CANCELLED,
+}
 
 #: Legal state transitions.
 _TRANSITIONS = {
-    JobState.PENDING: {JobState.RUNNING, JobState.CANCELLED},
+    JobState.PENDING: {
+        JobState.RUNNING,
+        JobState.CANCELLED,
+        # Allocation never materialised / deadline hit while queued.
+        JobState.BOOT_FAIL,
+        JobState.DEADLINE,
+    },
     JobState.RUNNING: {
         JobState.COMPLETING,
         JobState.COMPLETED,
@@ -39,17 +93,43 @@ _TRANSITIONS = {
         JobState.TIMEOUT,
         # Requeue-on-node-failure: back to the pending queue.
         JobState.PENDING,
+        JobState.SUSPENDED,
+        JobState.PREEMPTED,
+        JobState.DEADLINE,
+        JobState.NODE_FAIL,
+    },
+    JobState.SUSPENDED: {
+        JobState.RUNNING,
+        JobState.CANCELLED,
+        JobState.FAILED,
+        JobState.TIMEOUT,
+        JobState.PREEMPTED,
+        JobState.DEADLINE,
+        JobState.NODE_FAIL,
     },
     JobState.COMPLETING: {JobState.COMPLETED},
     JobState.COMPLETED: set(),
     JobState.CANCELLED: set(),
     JobState.FAILED: set(),
     JobState.TIMEOUT: set(),
+    JobState.PREEMPTED: set(),
+    JobState.DEADLINE: set(),
+    JobState.BOOT_FAIL: set(),
+    JobState.NODE_FAIL: set(),
 }
 
 #: States from which a job will never run (again).
 TERMINAL_STATES = frozenset(
-    {JobState.COMPLETED, JobState.CANCELLED, JobState.FAILED, JobState.TIMEOUT}
+    {
+        JobState.COMPLETED,
+        JobState.CANCELLED,
+        JobState.FAILED,
+        JobState.TIMEOUT,
+        JobState.PREEMPTED,
+        JobState.DEADLINE,
+        JobState.BOOT_FAIL,
+        JobState.NODE_FAIL,
+    }
 )
 
 

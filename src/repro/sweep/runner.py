@@ -144,6 +144,7 @@ def session_spec_for(spec: RunSpec):
     whichever side of the process boundary the cell runs.
     """
     from repro.api.session import DEFAULT_MAX_SIM_TIME, SessionSpec
+    from repro.backend.base import BackendSpec
     from repro.cluster.configs import (
         ClusterConfig,
         marenostrum_preliminary,
@@ -165,6 +166,10 @@ def session_spec_for(spec: RunSpec):
         seed=spec.seed,
         max_sim_time=(DEFAULT_MAX_SIM_TIME if spec.max_sim_time is None
                       else spec.max_sim_time),
+        # Non-sim cells route Session.run through the backend seam on
+        # whichever side of the process boundary they execute.
+        backend=(None if spec.backend == "sim"
+                 else BackendSpec.of(spec.backend)),
     )
 
 
@@ -240,7 +245,7 @@ def execute_cell(
         cell = Telemetry(telemetry_config)
         cell.record(
             "sweep.cell", wall_start, time.time(), CLOCK_WALL, track="sweep",
-            kind=spec.kind, wall_time=wall_time,
+            kind=spec.kind, wall_time=wall_time, backend=spec.backend,
         )
         payload["spans"] = cell.as_dicts() + spans
     return payload

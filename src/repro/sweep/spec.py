@@ -58,11 +58,22 @@ class RunSpec:
     policy: Optional[str] = None
     async_mode: bool = False
     max_sim_time: Optional[float] = None
+    #: Execution backend for workload cells (registry name; see
+    #: :mod:`repro.backend`).  Artifact cells always render through the
+    #: simulator.
+    backend: str = "sim"
 
     def __post_init__(self) -> None:
+        if not self.backend:
+            raise SweepError("backend must be a registry name, got ''")
         if self.kind == "artifact":
             if not self.artifact:
                 raise SweepError("artifact cells need an artifact name")
+            if self.backend != "sim":
+                raise SweepError(
+                    "artifact cells always render through the simulator; "
+                    f"backend={self.backend!r} is a workload-cell axis"
+                )
             for field_name in ("workload", "num_jobs", "nodes", "policy"):
                 if getattr(self, field_name) is not None:
                     raise SweepError(
@@ -104,14 +115,16 @@ class RunSpec:
     def group_axes(self) -> Tuple[Tuple[str, Any], ...]:
         """The non-seed axes this cell belongs to (aggregation identity).
 
-        ``async_mode`` only shows when set — it is constant within one
-        sweep, and the synchronous default would just be label noise.
+        ``async_mode`` only shows when set, and ``backend`` only when
+        non-default — both are constant within one sweep, and the
+        defaults would just be label noise.
         """
         return tuple(
             (f.name, getattr(self, f.name))
             for f in fields(self)
             if f.name != "seed" and getattr(self, f.name) is not None
             and not (f.name == "async_mode" and not getattr(self, f.name))
+            and not (f.name == "backend" and getattr(self, f.name) == "sim")
         )
 
     def group_label(self) -> str:
@@ -174,6 +187,7 @@ class Sweep:
         policies: Optional[Sequence[str]] = None,
         async_mode: bool = False,
         max_sim_time: Optional[float] = None,
+        backend: str = "sim",
     ) -> "Sweep":
         """Expand a declarative grid into cells.
 
@@ -193,6 +207,11 @@ class Sweep:
             ):
                 if extra:
                     raise SweepError(f"artifact sweeps take no {extra_name!r} axis")
+            if backend != "sim":
+                raise SweepError(
+                    "artifact sweeps always render through the simulator; "
+                    "backend applies to workload sweeps"
+                )
             for name, seed in itertools.product(artifacts, seed_axis):
                 cells.append(
                     RunSpec(
@@ -223,6 +242,7 @@ class Sweep:
                         seed=seed,
                         async_mode=async_mode,
                         max_sim_time=max_sim_time,
+                        backend=backend,
                     )
                 )
         else:

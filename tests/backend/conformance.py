@@ -1,0 +1,164 @@
+"""The shared backend conformance scenarios.
+
+Every scenario runs against *any* :class:`~repro.backend.base.
+ExecutionBackend` and returns a **normalized outcome dict**: final
+states and booleans only, never timestamps — the simulator answers in
+virtual seconds and a real scheduler in jittery wall seconds, so raw
+times can never agree, but the *shape* of what happened must.
+
+``unit`` scales every duration onto the backend's clock: simulated
+scenarios use comfortable tens of seconds (free to advance), wall-clock
+scenarios compress to sub-second sleeps so CI stays fast.
+
+Capability-gated scenarios (resize) return ``{"unsupported": True}`` on
+backends that do not implement them; the sim-vs-real comparison records
+these as *known* divergences instead of failures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.backend.base import ExecutionBackend, JobRequest
+
+
+def _request(name: str, unit: float, duration: float, limit: float, nodes: int = 1, **kw):
+    return JobRequest(
+        name=name,
+        num_nodes=nodes,
+        duration=duration * unit,
+        time_limit=limit * unit,
+        **kw,
+    )
+
+
+def scenario_submit_complete(backend: ExecutionBackend, unit: float) -> Dict:
+    """A well-behaved job runs to completion within its limit."""
+    job_id = backend.submit(_request("conform-ok", unit, duration=2, limit=600, nodes=2))
+    records = backend.drain(timeout=600 * unit)
+    record = records[job_id]
+    return {
+        "state": record.state.value,
+        "started": record.start_time is not None,
+        "accounted": record.end_time is not None,
+        "nodes": record.num_nodes,
+    }
+
+
+def scenario_cancel(backend: ExecutionBackend, unit: float) -> Dict:
+    """scancel on a running job yields CANCELLED, not COMPLETED."""
+    job_id = backend.submit(_request("conform-cancel", unit, duration=600, limit=1200))
+    backend.wait(1 * unit)
+    backend.cancel(job_id)
+    records = backend.drain(timeout=600 * unit)
+    record = records[job_id]
+    return {
+        "state": record.state.value,
+        "started": record.start_time is not None,
+        "cut_short": record.elapsed is not None and record.elapsed < 300 * unit,
+    }
+
+
+def scenario_timeout(backend: ExecutionBackend, unit: float) -> Dict:
+    """A job exceeding its walltime limit is killed as TIMEOUT."""
+    job_id = backend.submit(_request("conform-late", unit, duration=600, limit=4))
+    records = backend.drain(timeout=600 * unit)
+    record = records[job_id]
+    return {
+        "state": record.state.value,
+        "started": record.start_time is not None,
+        "cut_short": record.elapsed is not None and record.elapsed < 300 * unit,
+    }
+
+
+def scenario_resize(backend: ExecutionBackend, unit: float) -> Dict:
+    """Grow then shrink a running flexible job (where supported)."""
+    if not backend.capabilities.supports_resize:
+        return {"unsupported": True}
+    job_id = backend.submit(
+        _request(
+            "conform-flex", unit, duration=600, limit=1200,
+            nodes=2, min_nodes=1, max_nodes=4,
+        )
+    )
+    backend.wait(1 * unit)
+    backend.update_nodes(job_id, 4)
+    grown = backend.query_jobs([job_id])[job_id].num_nodes
+    backend.update_nodes(job_id, 2)
+    shrunk = backend.query_jobs([job_id])[job_id].num_nodes
+    backend.cancel(job_id)
+    record = backend.drain(timeout=600 * unit)[job_id]
+    return {
+        "grown_to": grown,
+        "shrunk_to": shrunk,
+        "state": record.state.value,
+    }
+
+
+def scenario_drain(backend: ExecutionBackend, unit: float) -> Dict:
+    """Draining a mixed batch settles every job, in one accounting view."""
+    ids = [
+        backend.submit(_request("conform-a", unit, duration=1, limit=600)),
+        backend.submit(_request("conform-b", unit, duration=2, limit=600, nodes=2)),
+        backend.submit(_request("conform-c", unit, duration=3, limit=600)),
+    ]
+    records = backend.drain(timeout=600 * unit)
+    states = sorted(records[i].state.value for i in ids)
+    return {
+        "all_terminal": all(records[i].is_terminal for i in ids),
+        "states": states,
+        "batched": len(backend.query_jobs()) == 3,
+    }
+
+
+#: name -> scenario callable, the shared matrix.
+SCENARIOS: Dict[str, Callable[[ExecutionBackend, float], Dict]] = {
+    "submit_complete": scenario_submit_complete,
+    "cancel": scenario_cancel,
+    "timeout": scenario_timeout,
+    "resize": scenario_resize,
+    "drain": scenario_drain,
+}
+
+
+def run_matrix(
+    make_backend: Callable[[], ExecutionBackend], unit: float
+) -> Dict[str, Dict]:
+    """Run every scenario on a fresh backend; return name -> outcome."""
+    outcomes: Dict[str, Dict] = {}
+    for name, scenario in SCENARIOS.items():
+        backend = make_backend()
+        try:
+            outcomes[name] = scenario(backend, unit)
+        finally:
+            backend.close()
+    return outcomes
+
+
+def compare_matrices(
+    reference: Dict[str, Dict], candidate: Dict[str, Dict]
+) -> Tuple[Dict[str, Dict], list]:
+    """Split into (shared identical outcomes, divergence descriptions).
+
+    A scenario one side reports ``unsupported`` is a *capability gap*,
+    listed separately from a genuine behavioural divergence.
+    """
+    divergences = []
+    shared = {}
+    for name in SCENARIOS:
+        ref, cand = reference.get(name), candidate.get(name)
+        if ref is None or cand is None:
+            divergences.append({"scenario": name, "kind": "missing"})
+        elif ref.get("unsupported") or cand.get("unsupported"):
+            divergences.append(
+                {"scenario": name, "kind": "capability",
+                 "reference": ref, "candidate": cand}
+            )
+        elif ref != cand:
+            divergences.append(
+                {"scenario": name, "kind": "behaviour",
+                 "reference": ref, "candidate": cand}
+            )
+        else:
+            shared[name] = ref
+    return shared, divergences

@@ -1,0 +1,128 @@
+"""Conformance: the same scenario matrix against every backend.
+
+The sim backend and the subprocess backend (over the hermetic
+fake-slurmd CLI) must agree on every shared scenario's normalized
+outcome; capability-gated scenarios (resize) are recorded as *known*
+divergences in the report artifact, never silent.
+
+Set ``REPRO_BACKEND_DIVERGENCE_REPORT=/path/report.json`` to export the
+sim-vs-fake comparison (the CI ``backend-conformance`` job uploads it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shlex
+import sys
+import tempfile
+
+import pytest
+
+from repro.api.session import Session
+from repro.backend.fake_slurmd import SPOOL_ENV
+from repro.backend.subprocess_slurm import SubprocessSlurmBackend
+from repro.cluster.configs import ClusterConfig
+
+from tests.backend.conformance import SCENARIOS, compare_matrices, run_matrix
+
+#: Sim scenarios run in comfortable simulated tens-of-seconds.
+SIM_UNIT = 10.0
+#: Wall scenarios compress to sub-second sleeps so CI stays fast.
+WALL_UNIT = 0.35
+
+#: What every conforming backend must report for the shared matrix.
+EXPECTED = {
+    "submit_complete": {
+        "state": "completed", "started": True, "accounted": True, "nodes": 2,
+    },
+    "cancel": {"state": "cancelled", "started": True, "cut_short": True},
+    "timeout": {"state": "timeout", "started": True, "cut_short": True},
+    "drain": {
+        "all_terminal": True,
+        "states": ["completed", "completed", "completed"],
+        "batched": True,
+    },
+}
+
+#: Backend-specific expectations for capability-gated scenarios.
+EXPECTED_SIM_RESIZE = {"grown_to": 4, "shrunk_to": 2, "state": "cancelled"}
+
+
+def make_sim_backend():
+    session = Session(cluster=ClusterConfig(num_nodes=8))
+    return session.with_backend("sim").execution_backend()
+
+
+def _fake_command(tool: str) -> str:
+    return f"{shlex.quote(sys.executable)} -m repro.backend.fake_slurmd {tool}"
+
+
+def make_fake_backend():
+    return SubprocessSlurmBackend(
+        poll_interval=0.05,
+        sbatch=_fake_command("sbatch"),
+        scancel=_fake_command("scancel"),
+        squeue=_fake_command("squeue"),
+        sacct=_fake_command("sacct"),
+        scontrol=_fake_command("scontrol"),
+    )
+
+
+@pytest.fixture(scope="module")
+def sim_matrix():
+    return run_matrix(make_sim_backend, SIM_UNIT)
+
+
+@pytest.fixture(scope="module")
+def fake_matrix():
+    with tempfile.TemporaryDirectory(prefix="fake-slurmd-") as spool:
+        previous = os.environ.get(SPOOL_ENV)
+        os.environ[SPOOL_ENV] = spool
+        try:
+            yield run_matrix(make_fake_backend, WALL_UNIT)
+        finally:
+            if previous is None:
+                del os.environ[SPOOL_ENV]
+            else:
+                os.environ[SPOOL_ENV] = previous
+
+
+@pytest.mark.parametrize("scenario", sorted(EXPECTED))
+def test_sim_backend_conforms(sim_matrix, scenario):
+    assert sim_matrix[scenario] == EXPECTED[scenario]
+
+
+def test_sim_backend_resize(sim_matrix):
+    assert sim_matrix["resize"] == EXPECTED_SIM_RESIZE
+
+
+@pytest.mark.parametrize("scenario", sorted(EXPECTED))
+def test_subprocess_backend_conforms(fake_matrix, scenario):
+    assert fake_matrix[scenario] == EXPECTED[scenario]
+
+
+def test_subprocess_backend_gates_resize(fake_matrix):
+    assert fake_matrix["resize"] == {"unsupported": True}
+
+
+def test_sim_vs_fake_divergence_report(sim_matrix, fake_matrix, tmp_path):
+    shared, divergences = compare_matrices(sim_matrix, fake_matrix)
+    report = {
+        "reference": "sim",
+        "candidate": "slurm(fake-slurmd)",
+        "scenarios": sorted(SCENARIOS),
+        "shared_identical": shared,
+        "divergences": divergences,
+    }
+    out = os.environ.get(
+        "REPRO_BACKEND_DIVERGENCE_REPORT", str(tmp_path / "divergence.json")
+    )
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+
+    # Every shared scenario agrees...
+    assert set(shared) == set(SCENARIOS) - {"resize"}
+    # ...and the only divergence is the declared capability gap.
+    assert [d["kind"] for d in divergences] == ["capability"]
+    assert divergences[0]["scenario"] == "resize"

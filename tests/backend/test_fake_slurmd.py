@@ -1,0 +1,139 @@
+"""Unit tests for the hermetic fake Slurm CLI (in-process, no subprocess)."""
+
+import time
+
+import pytest
+
+from repro.backend import fake_slurmd
+from repro.backend.fake_slurmd import SPOOL_ENV, main, parse_timelimit
+
+
+@pytest.fixture()
+def spool(tmp_path, monkeypatch):
+    monkeypatch.setenv(SPOOL_ENV, str(tmp_path))
+    return tmp_path
+
+
+def sbatch(*args):
+    return main(["sbatch", *args])
+
+
+class TestParseTimelimit:
+    @pytest.mark.parametrize(
+        "text,seconds",
+        [
+            ("5", 300.0),
+            ("0:30", 30.0),
+            ("2:05", 125.0),
+            ("1:00:00", 3600.0),
+            ("1-00:00:00", 86400.0),
+        ],
+    )
+    def test_formats(self, text, seconds):
+        assert parse_timelimit(text) == seconds
+
+    def test_bad_format(self):
+        with pytest.raises(ValueError):
+            parse_timelimit("1:2:3:4")
+
+
+class TestSbatch:
+    def test_parsable_prints_id(self, spool, capsys):
+        assert sbatch("--parsable", "-J", "a", "-N", "2", "-t", "0:30",
+                      "--wrap", "sleep 1") == 0
+        assert capsys.readouterr().out.strip() == "1"
+        assert sbatch("--parsable", "--wrap", "sleep 1") == 0
+        assert capsys.readouterr().out.strip() == "2"
+
+    def test_requires_wrap(self, spool, capsys):
+        assert sbatch("--parsable") == 1
+        assert "--wrap" in capsys.readouterr().err
+
+    def test_missing_spool_env(self, monkeypatch, capsys):
+        monkeypatch.delenv(SPOOL_ENV, raising=False)
+        with pytest.raises(SystemExit):
+            sbatch("--parsable", "--wrap", "sleep 1")
+
+
+class TestLifecycle:
+    def _submit(self, capsys, duration="30", limit="10:00"):
+        sbatch("--parsable", "-t", limit, "--wrap", f"sleep {duration}")
+        return int(capsys.readouterr().out.strip())
+
+    def _sacct_row(self, capsys, job_id):
+        main(["sacct", "--parsable2", "--noheader",
+              "--format=JobID,JobName,State,NNodes,Submit,Start,End,ElapsedRaw",
+              "-j", str(job_id)])
+        row = capsys.readouterr().out.strip().splitlines()[-1]
+        return row.split("|")
+
+    def test_running_then_completed(self, spool, capsys, monkeypatch):
+        job_id = self._submit(capsys, duration="30")
+        cells = self._sacct_row(capsys, job_id)
+        assert cells[2] == "RUNNING"
+        assert cells[6] == "Unknown"
+        # Fast-forward the clock past the sleep.
+        real = time.time
+        monkeypatch.setattr(fake_slurmd.time, "time", lambda: real() + 60.0)
+        cells = self._sacct_row(capsys, job_id)
+        assert cells[2] == "COMPLETED"
+        assert float(cells[7]) == pytest.approx(30.0)
+
+    def test_timeout_when_duration_exceeds_limit(self, spool, capsys, monkeypatch):
+        job_id = self._submit(capsys, duration="600", limit="0:05")
+        real = time.time
+        monkeypatch.setattr(fake_slurmd.time, "time", lambda: real() + 30.0)
+        cells = self._sacct_row(capsys, job_id)
+        assert cells[2] == "TIMEOUT"
+        assert float(cells[7]) == pytest.approx(5.0)
+
+    def test_scancel_marks_cancelled(self, spool, capsys):
+        job_id = self._submit(capsys, duration="600")
+        assert main(["scancel", str(job_id)]) == 0
+        capsys.readouterr()
+        cells = self._sacct_row(capsys, job_id)
+        assert cells[2].startswith("CANCELLED")
+
+    def test_scancel_unknown_job(self, spool, capsys):
+        assert main(["scancel", "99"]) == 1
+        assert "Invalid job id" in capsys.readouterr().err
+
+    def test_squeue_lists_only_live_jobs(self, spool, capsys):
+        live = self._submit(capsys, duration="600")
+        done = self._submit(capsys, duration="0")
+        main(["squeue"])
+        out = capsys.readouterr().out
+        assert f"{live}|RUNNING" in out
+        assert str(done) not in out
+
+
+class TestScontrol:
+    def _submit(self, capsys, duration="600", limit="10:00"):
+        sbatch("--parsable", "-t", limit, "--wrap", f"sleep {duration}")
+        return int(capsys.readouterr().out.strip())
+
+    def test_update_time_limit(self, spool, capsys):
+        job_id = self._submit(capsys)
+        assert main(["scontrol", "update", f"JobId={job_id}", "TimeLimit=0:05"]) == 0
+        capsys.readouterr()
+        main(["sacct", "--parsable2", "--noheader", "--format=State",
+              "-j", str(job_id)])
+        # New 5s limit is shorter than the 600s sleep -> still RUNNING now,
+        # but the spool record carries the updated limit.
+        job = fake_slurmd._jobs(spool)[job_id]
+        assert job["time_limit_s"] == 5.0
+
+    def test_numnodes_update_refused(self, spool, capsys):
+        job_id = self._submit(capsys)
+        assert main(["scontrol", "update", f"JobId={job_id}", "NumNodes=4"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_job(self, spool, capsys):
+        assert main(["scontrol", "update", "JobId=42", "TimeLimit=1:00"]) == 1
+        assert "Invalid job id" in capsys.readouterr().err
+
+
+class TestMain:
+    def test_unknown_tool(self, capsys):
+        assert main(["qsub"]) == 2
+        assert "expected one of" in capsys.readouterr().err

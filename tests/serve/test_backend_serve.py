@@ -1,0 +1,75 @@
+"""Serve over a non-sim execution backend (fake Slurm).
+
+Boots a :class:`ServerThread` whose JobManager routes workloads through
+the ``slurm`` backend, pointed at the hermetic ``fake_slurmd`` CLI, and
+checks the HTTP surface reports the backend end to end.
+"""
+
+import asyncio
+import shlex
+import sys
+import time
+
+import pytest
+
+from repro.backend.fake_slurmd import SPOOL_ENV
+from repro.errors import ServeError
+from repro.serve import ReproServer, ServerThread
+from repro.serve.loadgen import request
+
+HOST = "127.0.0.1"
+DEADLINE = 60.0
+
+
+def http(port, method, path, payload=None):
+    return asyncio.run(request(HOST, port, method, path, payload))
+
+
+def wait_terminal(port, job_id):
+    deadline = time.monotonic() + DEADLINE
+    while time.monotonic() < deadline:
+        status, snap = http(port, "GET", f"/v1/jobs/{job_id}")
+        assert status == 200
+        if snap["state"] in ("COMPLETED", "FAILED", "CANCELLED"):
+            return snap
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} did not finish within {DEADLINE}s")
+
+
+@pytest.fixture()
+def slurm_server(monkeypatch, tmp_path):
+    monkeypatch.setenv(SPOOL_ENV, str(tmp_path / "spool"))
+    for tool in ("sbatch", "scancel", "squeue", "sacct", "scontrol"):
+        monkeypatch.setenv(
+            f"REPRO_SLURM_{tool.upper()}",
+            f"{shlex.quote(sys.executable)} -m repro.backend.fake_slurmd "
+            f"{tool}",
+        )
+    thread = ServerThread(
+        workers=1, backend="slurm",
+        backend_options={"time_scale": 0.002, "poll_interval": 0.05},
+    ).start()
+    yield thread
+    thread.stop()
+
+
+def test_unknown_backend_is_rejected_at_construction():
+    with pytest.raises(ServeError, match="unknown execution backend"):
+        ReproServer(backend="pbs")
+
+
+def test_health_reports_backend(slurm_server):
+    status, health = http(slurm_server.port, "GET", "/health")
+    assert status == 200
+    assert health["backend"] == "slurm"
+
+
+def test_workload_runs_over_fake_slurm(slurm_server):
+    status, body = http(slurm_server.port, "POST", "/v1/workloads",
+                        {"workload": "fs", "num_jobs": 2, "seed": 7})
+    assert status in (200, 202)
+    snap = wait_terminal(slurm_server.port, body["id"])
+    assert snap["state"] == "COMPLETED"
+    assert snap["result"]["backend"] == "slurm"
+    assert snap["result"]["summary"]["num_jobs"] == 2
+    assert snap["result"]["trace_events"] > 0

@@ -123,3 +123,55 @@ def test_dependent_without_max_priority():
     env.run(until=0.1)
     rj = api.submit_dependent(parent, 2, max_priority=False)
     assert rj.priority_boost == 0.0
+
+
+class TestErrorPaths:
+    """check_status / update_time_limit failure modes (not just happy paths)."""
+
+    def test_check_status_unknown_job(self):
+        env, machine, ctl, api = make_api()
+        stranger = malleable(4)
+        stranger.job_id = 999  # never submitted here
+        with pytest.raises(SchedulerError, match="not running"):
+            api.check_status(stranger, stranger.resize_request)
+
+    def test_check_status_pending_job_rejected(self):
+        env, machine, ctl, api = make_api(nodes=4)
+        running = api.submit(malleable(4))
+        queued = api.submit(malleable(4))
+        env.run(until=0.1)
+        assert queued.is_pending
+        with pytest.raises(SchedulerError, match="not running"):
+            api.check_status(queued, queued.resize_request)
+
+    def test_check_status_finished_job_rejected(self):
+        env, machine, ctl, api = make_api()
+        job = api.submit(malleable(4))
+        env.run(until=0.1)
+        ctl.finish_job(job, JobState.COMPLETED)
+        with pytest.raises(SchedulerError, match="not running"):
+            api.check_status(job, job.resize_request)
+
+    def test_update_time_limit_nonpositive(self):
+        env, machine, ctl, api = make_api()
+        job = api.submit(malleable(4))
+        for bad in (0.0, -5.0):
+            with pytest.raises(SchedulerError, match="positive"):
+                api.update_time_limit(job, bad)
+
+    def test_update_time_limit_terminal_job_rejected(self):
+        env, machine, ctl, api = make_api()
+        job = api.submit(malleable(4))
+        env.run(until=0.1)
+        ctl.finish_job(job, JobState.COMPLETED)
+        before = job.time_limit
+        with pytest.raises(SchedulerError, match="completed"):
+            api.update_time_limit(job, 777.0)
+        assert job.time_limit == before
+
+    def test_update_time_limit_cancelled_job_rejected(self):
+        env, machine, ctl, api = make_api()
+        job = api.submit(malleable(4))
+        api.cancel(job)
+        with pytest.raises(SchedulerError, match="cancelled"):
+            api.update_time_limit(job, 777.0)

@@ -1,0 +1,134 @@
+"""The extended JobState taxonomy: real-Slurm states as first-class members.
+
+PREEMPTED, SUSPENDED, DEADLINE, BOOT_FAIL and NODE_FAIL exist for the
+subprocess backend's sacct parsing even though the simulator cannot
+reach most of them today; their legal-transition entries keep the state
+machine honest on real accounting data.
+"""
+
+import pytest
+
+from repro.errors import JobStateError
+from repro.slurm.job import TERMINAL_STATES, Job, JobState
+
+
+def make_job(state=JobState.PENDING):
+    job = Job(name="j", num_nodes=2, time_limit=100.0)
+    job.job_id = 1
+    job.state = state
+    return job
+
+
+class TestNewMembers:
+    def test_real_slurm_states_are_members(self):
+        for name in ("PREEMPTED", "SUSPENDED", "DEADLINE", "BOOT_FAIL", "NODE_FAIL"):
+            assert isinstance(JobState[name], JobState)
+
+    def test_failure_states_are_terminal(self):
+        for state in (
+            JobState.PREEMPTED,
+            JobState.DEADLINE,
+            JobState.BOOT_FAIL,
+            JobState.NODE_FAIL,
+        ):
+            assert state in TERMINAL_STATES
+            assert make_job(state).is_terminal
+
+    def test_suspended_is_not_terminal(self):
+        assert JobState.SUSPENDED not in TERMINAL_STATES
+        assert not make_job(JobState.SUSPENDED).is_terminal
+
+
+class TestTransitions:
+    @pytest.mark.parametrize(
+        "target",
+        [JobState.SUSPENDED, JobState.PREEMPTED, JobState.DEADLINE, JobState.NODE_FAIL],
+    )
+    def test_running_reaches_real_slurm_states(self, target):
+        job = make_job(JobState.RUNNING)
+        job.transition(target)
+        assert job.state is target
+
+    def test_pending_can_boot_fail_or_deadline(self):
+        for target in (JobState.BOOT_FAIL, JobState.DEADLINE):
+            job = make_job(JobState.PENDING)
+            job.transition(target)
+            assert job.state is target
+
+    def test_pending_cannot_be_preempted_or_suspended(self):
+        for target in (JobState.PREEMPTED, JobState.SUSPENDED):
+            with pytest.raises(JobStateError):
+                make_job(JobState.PENDING).transition(target)
+
+    def test_suspend_resume_round_trip(self):
+        job = make_job(JobState.RUNNING)
+        job.transition(JobState.SUSPENDED)
+        job.transition(JobState.RUNNING)
+        job.transition(JobState.COMPLETED)
+        assert job.is_terminal
+
+    def test_suspended_can_die_every_way_but_complete(self):
+        for target in (
+            JobState.CANCELLED,
+            JobState.FAILED,
+            JobState.TIMEOUT,
+            JobState.PREEMPTED,
+            JobState.DEADLINE,
+            JobState.NODE_FAIL,
+        ):
+            job = make_job(JobState.SUSPENDED)
+            job.transition(target)
+            assert job.is_terminal
+        with pytest.raises(JobStateError):
+            make_job(JobState.SUSPENDED).transition(JobState.COMPLETED)
+
+    @pytest.mark.parametrize(
+        "terminal",
+        sorted(TERMINAL_STATES, key=lambda s: s.value),
+    )
+    def test_terminal_states_accept_nothing(self, terminal):
+        for target in JobState:
+            with pytest.raises(JobStateError):
+                make_job(terminal).transition(target)
+
+    def test_requeue_path_still_legal(self):
+        # Requeue-on-node-failure is modeled as RUNNING -> PENDING, not
+        # through the (terminal) NODE_FAIL member.
+        job = make_job(JobState.RUNNING)
+        job.transition(JobState.PENDING)
+        job.transition(JobState.RUNNING)
+
+
+class TestFromSlurm:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("COMPLETED", JobState.COMPLETED),
+            ("RUNNING", JobState.RUNNING),
+            ("PENDING", JobState.PENDING),
+            ("TIMEOUT", JobState.TIMEOUT),
+            ("FAILED", JobState.FAILED),
+            ("NODE_FAIL", JobState.NODE_FAIL),
+            ("PREEMPTED", JobState.PREEMPTED),
+            ("SUSPENDED", JobState.SUSPENDED),
+            ("DEADLINE", JobState.DEADLINE),
+            ("BOOT_FAIL", JobState.BOOT_FAIL),
+            ("CANCELLED", JobState.CANCELLED),
+            ("CANCELLED by 1234", JobState.CANCELLED),
+            ("cancelled by 0", JobState.CANCELLED),
+            ("RESIZING", JobState.RUNNING),
+            ("REQUEUED", JobState.PENDING),
+            ("CONFIGURING", JobState.PENDING),
+            ("COMPLETING", JobState.COMPLETING),
+            ("OUT_OF_MEMORY", JobState.FAILED),
+            ("REVOKED", JobState.CANCELLED),
+        ],
+    )
+    def test_parses_sacct_state_strings(self, text, expected):
+        assert JobState.from_slurm(text) is expected
+
+    def test_unknown_state_raises(self):
+        with pytest.raises(JobStateError):
+            JobState.from_slurm("ZOMBIE")
+        with pytest.raises(JobStateError):
+            JobState.from_slurm("")

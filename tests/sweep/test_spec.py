@@ -35,6 +35,7 @@ class TestRunSpec:
             "kind": "artifact", "seed": 1, "artifact": "fig1",
             "workload": None, "num_jobs": None, "nodes": None,
             "policy": None, "async_mode": False, "max_sim_time": None,
+            "backend": "sim",
         }
 
     def test_pickle_round_trip(self):
@@ -68,6 +69,23 @@ class TestRunSpec:
         assert implicit == explicit
         assert implicit.as_dict() == explicit.as_dict()
         assert implicit.group_label().endswith(";policy=default")
+
+    def test_backend_only_labels_when_non_default(self):
+        quiet = RunSpec(kind="workload", workload="fs", num_jobs=5, seed=1)
+        loud = RunSpec(kind="workload", workload="fs", num_jobs=5, seed=1,
+                       backend="slurm")
+        assert "backend" not in quiet.group_label()
+        assert "backend=slurm" in loud.group_label()
+        # The store key still carries it either way.
+        assert quiet.as_dict()["backend"] == "sim"
+        assert loud.as_dict()["backend"] == "slurm"
+
+    def test_artifact_cells_refuse_non_sim_backend(self):
+        with pytest.raises(SweepError, match="simulator"):
+            RunSpec(kind="artifact", artifact="fig1", seed=1, backend="slurm")
+        with pytest.raises(SweepError, match="backend"):
+            RunSpec(kind="workload", workload="fs", num_jobs=5, seed=1,
+                    backend="")
 
     def test_policy_presets_are_distinct(self):
         assert set(POLICY_PRESETS) == {"default", "deepest", "literal"}
@@ -104,6 +122,17 @@ class TestSweepExpansion:
         assert (first.num_jobs, first.policy, first.seed) == (10, "default", 2017)
         # Seeds vary fastest: the grid is independent of executor order.
         assert [c.seed for c in sweep.cells[:2]] == [2017, 2018]
+
+    def test_backend_threads_to_every_workload_cell(self):
+        sweep = Sweep.over(
+            seeds=2, workloads=["fs"], num_jobs=[5], backend="slurm"
+        )
+        assert all(c.backend == "slurm" for c in sweep.cells)
+        assert all("backend=slurm" in c.group_label() for c in sweep.cells)
+
+    def test_artifact_sweep_refuses_backend(self):
+        with pytest.raises(SweepError, match="simulator"):
+            Sweep.over(seeds=1, artifacts=["fig1"], backend="slurm")
 
     def test_grid_expansion_is_deterministic(self):
         make = lambda: Sweep.over(

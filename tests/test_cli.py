@@ -207,6 +207,78 @@ def test_workload_flag_requires_run_mode(swf_file, capsys):
     assert "requires the 'run' mode" in capsys.readouterr().err
 
 
+# -- backends mode + run --backend -------------------------------------------
+
+def _fake_slurm_env(monkeypatch, tmp_path):
+    """Point the slurm backend at the hermetic fake CLI."""
+    import shlex
+    import sys as _sys
+
+    from repro.backend.fake_slurmd import SPOOL_ENV
+
+    monkeypatch.setenv(SPOOL_ENV, str(tmp_path / "spool"))
+    for tool in ("sbatch", "scancel", "squeue", "sacct", "scontrol"):
+        monkeypatch.setenv(
+            f"REPRO_SLURM_{tool.upper()}",
+            f"{shlex.quote(_sys.executable)} -m repro.backend.fake_slurmd "
+            f"{tool}",
+        )
+
+
+class TestBackendsMode:
+    def test_lists_backends_with_flags(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "sim" in out and "slurm" in out
+        assert "clock" in out and "resize" in out
+
+    def test_json_listing(self, capsys):
+        assert main(["backends", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["sim"]["available"] is True
+        assert by_name["sim"]["resize"] is True
+        assert by_name["slurm"]["clock"] == "wall"
+        assert by_name["slurm"]["resize"] is False
+
+    def test_probe_reflects_fake_commands(self, monkeypatch, tmp_path, capsys):
+        _fake_slurm_env(monkeypatch, tmp_path)
+        assert main(["backends", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        slurm = next(row for row in rows if row["name"] == "slurm")
+        assert slurm["available"] is True
+
+
+class TestRunBackend:
+    def test_unknown_backend(self, swf_file, capsys):
+        assert main(["run", "--workload", str(swf_file),
+                     "--backend", "pbs"]) == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_time_scale_needs_wall_backend(self, swf_file, capsys):
+        assert main(["run", "--workload", str(swf_file),
+                     "--time-scale", "0.1"]) == 2
+        assert "wall-clock" in capsys.readouterr().err
+
+    def test_time_scale_must_be_positive(self, swf_file, capsys):
+        assert main(["run", "--workload", str(swf_file),
+                     "--backend", "slurm", "--time-scale", "0"]) == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_backend_flag_requires_run_mode(self, capsys):
+        assert main(["fig1", "--backend", "slurm"]) == 2
+        assert "require the 'run' mode" in capsys.readouterr().err
+
+    def test_run_over_fake_slurm(self, swf_file, monkeypatch, tmp_path, capsys):
+        _fake_slurm_env(monkeypatch, tmp_path)
+        assert main(["run", "--workload", str(swf_file), "--rigid",
+                     "--nodes", "4", "--backend", "slurm",
+                     "--time-scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "[backend=slurm]" in out
+        assert "rigid" in out
+
+
 # -- sweep / bench / cache modes ---------------------------------------------
 
 class TestSweepMode:
